@@ -1,0 +1,45 @@
+// Command fungusbench regenerates the experiment tables and figures
+// catalogued in DESIGN.md and EXPERIMENTS.md.
+//
+// Usage:
+//
+//	fungusbench [-exp E1|E2|...|all] [-scale 1.0] [-seed N]
+//
+// Each experiment prints an aligned text table; figure experiments
+// print their series as rows. Scale < 1 shrinks the workloads
+// proportionally (tests use 0.05); the shapes are scale-invariant.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fungusdb/internal/sim"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (E1..E9) or 'all'")
+	scale := flag.Float64("scale", 1.0, "workload scale factor")
+	seed := flag.Int64("seed", 20150104, "deterministic seed")
+	flag.Parse()
+
+	cfg := sim.Config{Scale: *scale, Seed: *seed}
+
+	ids := sim.ExperimentIDs
+	if *exp != "all" {
+		if _, ok := sim.Runner[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "fungusbench: unknown experiment %q (want E1..E9 or all)\n", *exp)
+			os.Exit(2)
+		}
+		ids = []string{*exp}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		table := sim.Runner[id](cfg)
+		table.Render(os.Stdout)
+		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,233 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"fungusdb/internal/core"
+)
+
+// runScript feeds a command script to a fresh shell and returns stdout.
+func runScript(t *testing.T, script string) string {
+	t.Helper()
+	db, err := core.Open(core.DBConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	var out strings.Builder
+	sh := &shell{db: db, out: &out}
+	sh.repl(strings.NewReader(script))
+	return out.String()
+}
+
+func TestShellCreateInsertQuery(t *testing.T) {
+	out := runScript(t, `
+create iot device STRING, temp FLOAT
+insert iot sensor-1 21.5
+insert iot sensor-2 40.0
+query iot peek temp > 30
+tables
+quit
+`)
+	for _, want := range []string{
+		"created iot(device STRING, temp FLOAT)",
+		"inserted id=0",
+		"inserted id=1",
+		"1 tuples (peek, scanned 2",
+		"sensor-2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShellConsumeAndContainers(t *testing.T) {
+	out := runScript(t, `
+create logs host STRING, sev INT
+insert logs web-1 2
+insert logs web-2 7
+query logs consume into=serious sev <= 3
+containers logs
+ask logs serious count
+ask logs serious top:host
+quit
+`)
+	for _, want := range []string{
+		"1 tuples (consume",
+		"serious",
+		"count=1",
+		"web-1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The consumed tuple is gone.
+	out2 := runScript(t, `
+create logs host STRING, sev INT
+insert logs web-1 2
+query logs consume sev <= 3
+query logs peek
+quit
+`)
+	if !strings.Contains(out2, "0 tuples (peek") {
+		t.Errorf("consumed tuple still visible:\n%s", out2)
+	}
+}
+
+func TestShellTickAndDecay(t *testing.T) {
+	out := runScript(t, `
+create iot device STRING, temp FLOAT fungus=linear rate=0.5
+insert iot s-1 1.0
+insert iot s-2 2.0
+tick 2
+stats iot
+quit
+`)
+	for _, want := range []string{"2 tuples rotted", "live=0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShellDistillOnRot(t *testing.T) {
+	out := runScript(t, `
+create iot device STRING, temp FLOAT fungus=linear rate=1.0 distill
+insert iot s-1 1.0
+tick
+containers iot
+ask iot _rot count
+quit
+`)
+	if !strings.Contains(out, "_rot") || !strings.Contains(out, "count=1") {
+		t.Errorf("rot distillation missing:\n%s", out)
+	}
+}
+
+func TestShellSeries(t *testing.T) {
+	script := "create iot device STRING, temp FLOAT\n"
+	for i := 0; i < 20; i++ {
+		script += "insert iot s 1.0\n"
+	}
+	script += "series iot 4\nquit\n"
+	out := runScript(t, script)
+	if !strings.Contains(out, "live      5") && !strings.Contains(out, "live      5 ") {
+		// 20 tuples over 4 buckets = 5 each; formatting uses %6d.
+		if !strings.Contains(out, "mean 1.000") {
+			t.Errorf("series output wrong:\n%s", out)
+		}
+	}
+}
+
+func TestShellErrors(t *testing.T) {
+	out := runScript(t, `
+nonsense
+create
+insert nosuch 1
+query nosuch peek
+stats nosuch
+tick -1
+create iot device STRING fungus=mystery
+quit
+`)
+	if got := strings.Count(out, "error:"); got != 7 {
+		t.Errorf("want 7 errors, got %d:\n%s", got, out)
+	}
+}
+
+func TestShellSQL(t *testing.T) {
+	out := runScript(t, `
+create clicks user STRING, dwell INT
+insert clicks alice 100
+insert clicks bob 200
+insert clicks alice 300
+sql SELECT user, COUNT(*) AS n, SUM(dwell) AS total FROM clicks GROUP BY user ORDER BY n DESC
+SELECT user FROM clicks WHERE dwell > 150
+sql SELECT CONSUME * FROM clicks WHERE user = 'bob'
+sql SELECT COUNT(*) FROM clicks
+quit
+`)
+	for _, want := range []string{
+		"alice  2  400", // group row
+		"(2 rows)",      // where query returns bob+alice300
+		"2",             // final count after consuming bob
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "error") {
+		t.Errorf("sql session errored:\n%s", out)
+	}
+}
+
+func TestShellLoadAndDump(t *testing.T) {
+	dir := t.TempDir()
+	out := runScript(t, `
+load iot iot 50
+load iot iot 25
+sql SELECT COUNT(*) FROM iot
+dump iot `+dir+`/out.csv temp > -1000
+load iot syslog 1
+load iot mystery 1
+load iot iot zero
+quit
+`)
+	for _, want := range []string{
+		"created iot(device STRING",
+		"loaded 50 iot rows",
+		"loaded 25 iot rows into iot (extent 75)",
+		"75",
+		"dumped 75 rows",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The three trailing commands are invalid (schema mismatch, unknown
+	// workload, bad count).
+	if got := strings.Count(out, "error:"); got != 3 {
+		t.Errorf("want 3 errors, got %d:\n%s", got, out)
+	}
+	data, err := os.ReadFile(dir + "/out.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(data), "\n")
+	if lines != 76 { // header + 75 rows
+		t.Errorf("csv has %d lines", lines)
+	}
+	if !strings.HasPrefix(string(data), "_id,_t,_f,device,temp,battery,alarm") {
+		t.Errorf("csv header wrong: %s", strings.SplitN(string(data), "\n", 2)[0])
+	}
+}
+
+func TestShellDrop(t *testing.T) {
+	out := runScript(t, `
+create t x INT
+drop t
+drop t
+tables
+quit
+`)
+	if !strings.Contains(out, "dropped t") {
+		t.Errorf("drop missing:\n%s", out)
+	}
+	if got := strings.Count(out, "error:"); got != 1 {
+		t.Errorf("want 1 error (double drop), got %d:\n%s", got, out)
+	}
+}
+
+func TestShellHelpAndComments(t *testing.T) {
+	out := runScript(t, "# a comment\nhelp\nquit\n")
+	if !strings.Contains(out, "commands:") {
+		t.Errorf("help missing:\n%s", out)
+	}
+	if strings.Contains(out, "error") {
+		t.Errorf("comment caused an error:\n%s", out)
+	}
+}

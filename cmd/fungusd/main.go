@@ -1,0 +1,71 @@
+// Command fungusd serves a FungusDB over HTTP (see internal/server for
+// the API). Decay advances in real time: one logical tick per -period.
+//
+//	fungusd -addr :8044 -dir /var/lib/fungusdb -period 1s
+//
+// With -dir set, tables created through the API with "persist": true
+// survive restarts (WAL + snapshots + catalog).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"fungusdb/internal/core"
+	"fungusdb/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8044", "listen address")
+	dir := flag.String("dir", "", "data directory (empty = in-memory)")
+	period := flag.Duration("period", time.Second, "wall time per decay tick")
+	seed := flag.Int64("seed", 20150104, "deterministic seed")
+	flag.Parse()
+
+	db, err := core.Open(core.DBConfig{Seed: *seed, Dir: *dir})
+	if err != nil {
+		log.Fatalf("fungusd: %v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// The periodic clock of T seconds: advance decay in real time.
+	go func() {
+		tick := time.NewTicker(*period)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				if _, err := db.Tick(); err != nil {
+					log.Printf("fungusd: tick: %v", err)
+				}
+			}
+		}
+	}()
+
+	srv := &http.Server{Addr: *addr, Handler: server.New(db)}
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+
+	fmt.Printf("fungusd listening on %s (tick period %v, dir %q)\n", *addr, *period, *dir)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("fungusd: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		log.Fatalf("fungusd: close: %v", err)
+	}
+	fmt.Println("fungusd: checkpointed and stopped")
+}

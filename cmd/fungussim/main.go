@@ -1,0 +1,116 @@
+// Command fungussim runs a long decay simulation and reports the
+// extent's health as it rots: freshness profile sparklines, rot-spot
+// time series, and capture statistics.
+//
+// Usage:
+//
+//	fungussim [-fungus egi|ttl|linear|exponential|none] [-tuples N]
+//	          [-ticks N] [-ingest N] [-report N] [-distill]
+//	          [-seeds N] [-rate F] [-seed N]
+//
+// With -ingest > 0 the simulation keeps inserting rows per tick, so the
+// steady state between ingestion and rot is visible; otherwise a single
+// initial load decays to extinction.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fungusdb/internal/core"
+	"fungusdb/internal/fungus"
+	"fungusdb/internal/workload"
+)
+
+func main() {
+	fungusName := flag.String("fungus", "egi", "decay law: egi, ttl, linear, exponential, none")
+	tuples := flag.Int("tuples", 50000, "initial load")
+	ticks := flag.Int("ticks", 200, "clock cycles to simulate")
+	ingestRate := flag.Int("ingest", 0, "rows inserted per tick (0 = initial load only)")
+	reportEvery := flag.Int("report", 20, "ticks between reports")
+	distill := flag.Bool("distill", false, "distill rotting tuples into the _rot container")
+	seeds := flag.Int("seeds", 2, "EGI seeds per tick")
+	rate := flag.Float64("rate", 0.05, "decay rate / TTL uses 1/rate ticks lifetime")
+	seed := flag.Int64("seed", 20150104, "deterministic seed")
+	flag.Parse()
+
+	var f fungus.Fungus
+	switch *fungusName {
+	case "egi":
+		f = fungus.NewEGI(fungus.EGIConfig{SeedsPerTick: *seeds, DecayRate: *rate, AgeBias: 2})
+	case "ttl":
+		f = fungus.TTL{Lifetime: uint64(1 / *rate)}
+	case "linear":
+		f = fungus.Linear{Rate: *rate}
+	case "exponential":
+		f = fungus.Exponential{Factor: 1 - *rate}
+	case "none":
+		f = fungus.Null{}
+	default:
+		fmt.Fprintf(os.Stderr, "fungussim: unknown fungus %q\n", *fungusName)
+		os.Exit(2)
+	}
+
+	db, err := core.Open(core.DBConfig{Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+	gen := workload.NewIoT(100, *seed)
+	tbl, err := db.CreateTable("iot", core.TableConfig{
+		Schema:       gen.Schema(),
+		Fungus:       f,
+		DistillOnRot: *distill,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	for i := 0; i < *tuples; i++ {
+		if _, err := tbl.Insert(gen.Next()); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("loaded %d tuples under fungus %q; simulating %d ticks\n\n", *tuples, f.Name(), *ticks)
+
+	for tick := 1; tick <= *ticks; tick++ {
+		for i := 0; i < *ingestRate; i++ {
+			if _, err := tbl.Insert(gen.Next()); err != nil {
+				fatal(err)
+			}
+		}
+		if _, err := db.Tick(); err != nil {
+			fatal(err)
+		}
+		if tick%*reportEvery == 0 || tbl.Len() == 0 {
+			fmt.Printf("t%-6d %s\n", tick, tbl.Profile())
+			if tbl.Len() == 0 && *ingestRate == 0 {
+				fmt.Println("\nextent completely disappeared — the first natural law is done")
+				break
+			}
+		}
+	}
+
+	fmt.Println()
+	c := tbl.Counters()
+	fmt.Println("final:", c)
+	if *distill {
+		if rot := tbl.Shelf().Get(core.RotContainer); rot != nil {
+			fmt.Printf("rot container: %d tuples distilled, %d bytes of knowledge\n",
+				rot.Digest.Count(), rot.Digest.Bytes())
+		}
+	}
+	if buckets := tbl.TimeSeries(10); buckets != nil {
+		fmt.Println("\nper-time-bucket mean freshness (old -> new):")
+		for _, b := range buckets {
+			fmt.Printf("  ids %7d..%-7d live %6d  mean %.3f  infected %d\n",
+				b.FromID, b.ToID, b.Live, b.Mean, b.Infected)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fungussim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,167 @@
+package catalog
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fungusdb/internal/fungus"
+	"fungusdb/internal/storage"
+	"fungusdb/internal/tuple"
+)
+
+var catSchema = tuple.MustSchema(
+	tuple.Column{Name: "sev", Kind: tuple.KindInt},
+	tuple.Column{Name: "host", Kind: tuple.KindString},
+)
+
+func TestFungusSpecBuildAllKinds(t *testing.T) {
+	cases := []struct {
+		spec FungusSpec
+		name string
+	}{
+		{FungusSpec{}, "none"},
+		{FungusSpec{Kind: "none"}, "none"},
+		{FungusSpec{Kind: "ttl", Lifetime: 10}, "ttl"},
+		{FungusSpec{Kind: "linear", Rate: 0.1}, "linear"},
+		{FungusSpec{Kind: "exponential", Factor: 0.9}, "exponential"},
+		{FungusSpec{Kind: "halflife", HalfLife: 7}, "exponential"},
+		{FungusSpec{Kind: "egi", Seeds: 2, Rate: 0.1, AgeBias: 2}, "egi"},
+		{FungusSpec{Kind: "quota", Max: 100}, "quota(100)"},
+		{FungusSpec{Kind: "staggered", Rate: 0.1, Phases: 4}, "staggered(4)"},
+		{FungusSpec{Kind: "refresh", Inner: &FungusSpec{Kind: "linear", Rate: 0.1}}, "refresh(linear)"},
+		{FungusSpec{Kind: "seasonal", Period: 10, Active: 2, Inner: &FungusSpec{Kind: "ttl", Lifetime: 5}}, "seasonal(ttl,2/10)"},
+		{FungusSpec{Kind: "targeted", Where: "sev <= 3", Inner: &FungusSpec{Kind: "linear", Rate: 0.5}}, "targeted(linear)"},
+	}
+	for _, c := range cases {
+		f, err := c.spec.Build(catSchema)
+		if err != nil {
+			t.Errorf("Build(%+v): %v", c.spec, err)
+			continue
+		}
+		if !strings.HasPrefix(f.Name(), strings.SplitN(c.name, "(", 2)[0]) {
+			t.Errorf("Build(%+v).Name() = %q, want prefix of %q", c.spec, f.Name(), c.name)
+		}
+	}
+}
+
+func TestFungusSpecBuildErrors(t *testing.T) {
+	bad := []FungusSpec{
+		{Kind: "mystery"},
+		{Kind: "ttl"},
+		{Kind: "linear"},
+		{Kind: "linear", Rate: -1},
+		{Kind: "exponential", Factor: 1.5},
+		{Kind: "halflife"},
+		{Kind: "quota"},
+		{Kind: "staggered", Rate: 0.1},
+		{Kind: "refresh"}, // missing inner
+		{Kind: "seasonal", Period: 5, Active: 9, Inner: &FungusSpec{}},
+		{Kind: "targeted", Where: "nosuch = 1", Inner: &FungusSpec{}},
+		{Kind: "egi", Rate: -1},
+	}
+	for _, s := range bad {
+		if _, err := s.Build(catSchema); err == nil {
+			t.Errorf("Build(%+v) accepted", s)
+		}
+	}
+}
+
+func TestTargetedSpecActuallyScopes(t *testing.T) {
+	spec := FungusSpec{Kind: "targeted", Where: "sev <= 3", Inner: &FungusSpec{Kind: "linear", Rate: 1.0}}
+	f, err := spec.Build(catSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := storage.New(catSchema)
+	s.Insert(0, []tuple.Value{tuple.Int(1), tuple.String_("a")})
+	s.Insert(0, []tuple.Value{tuple.Int(7), tuple.String_("b")})
+	rotten := f.Tick(1, s, nil, nil)
+	if len(rotten) != 1 || rotten[0] != 0 {
+		t.Errorf("rotten = %v, want [0]", rotten)
+	}
+}
+
+func TestTableSpecValidate(t *testing.T) {
+	good := TableSpec{Name: "logs", Schema: "sev INT, host STRING", Fungus: &FungusSpec{Kind: "ttl", Lifetime: 5}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	bad := []TableSpec{
+		{Schema: "sev INT"},
+		{Name: "x", Schema: "not-a-schema"},
+		{Name: "x", Schema: "sev INT", Fungus: &FungusSpec{Kind: "mystery"}},
+		{Name: "x", Schema: "sev INT", Fungus: &FungusSpec{Kind: "targeted", Where: "host = 'a'", Inner: &FungusSpec{}}}, // host not in schema
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %+v accepted", s)
+		}
+	}
+}
+
+func TestCatalogSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c := &Catalog{}
+	c.Put(TableSpec{Name: "b", Schema: "x INT"})
+	c.Put(TableSpec{Name: "a", Schema: "y STRING", Fungus: &FungusSpec{Kind: "egi", Seeds: 1, Rate: 0.1, AgeBias: 2}})
+	if err := c.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Tables) != 2 {
+		t.Fatalf("tables = %d", len(got.Tables))
+	}
+	// Saved sorted by name.
+	if got.Tables[0].Name != "a" || got.Tables[1].Name != "b" {
+		t.Errorf("order = %v, %v", got.Tables[0].Name, got.Tables[1].Name)
+	}
+	if got.Tables[0].Fungus.Kind != "egi" || got.Tables[0].Fungus.Seeds != 1 {
+		t.Errorf("fungus lost: %+v", got.Tables[0].Fungus)
+	}
+}
+
+func TestCatalogPutReplaces(t *testing.T) {
+	c := &Catalog{}
+	c.Put(TableSpec{Name: "t", Schema: "x INT"})
+	c.Put(TableSpec{Name: "t", Schema: "x INT, y INT"})
+	if len(c.Tables) != 1 || c.Tables[0].Schema != "x INT, y INT" {
+		t.Errorf("catalog = %+v", c.Tables)
+	}
+}
+
+func TestCatalogRemove(t *testing.T) {
+	c := &Catalog{}
+	c.Put(TableSpec{Name: "t", Schema: "x INT"})
+	if !c.Remove("t") {
+		t.Error("Remove existing returned false")
+	}
+	if c.Remove("t") {
+		t.Error("Remove missing returned true")
+	}
+}
+
+func TestLoadMissingAndCorrupt(t *testing.T) {
+	c, err := Load(t.TempDir())
+	if err != nil || len(c.Tables) != 0 {
+		t.Errorf("missing catalog: %v, %d tables", err, len(c.Tables))
+	}
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, File), []byte("{broken"), 0o644)
+	if _, err := Load(dir); err == nil {
+		t.Error("corrupt catalog accepted")
+	}
+	// Structurally valid JSON but invalid spec.
+	os.WriteFile(filepath.Join(dir, File), []byte(`{"tables":[{"name":"x","schema":"bad"}]}`), 0o644)
+	if _, err := Load(dir); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+// Compile-time check that the spec-built targeted fungus satisfies the
+// interfaces the engine relies on.
+var _ fungus.Fungus = fungus.Targeted{}

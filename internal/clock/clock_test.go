@@ -1,0 +1,108 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestVirtualZeroValue(t *testing.T) {
+	var v Virtual
+	if got := v.Now(); got != 0 {
+		t.Fatalf("zero Virtual.Now() = %v, want 0", got)
+	}
+}
+
+func TestVirtualAdvance(t *testing.T) {
+	v := NewVirtual(5)
+	if got := v.Now(); got != 5 {
+		t.Fatalf("Now() = %v, want 5", got)
+	}
+	if got := v.Advance(3); got != 8 {
+		t.Fatalf("Advance(3) = %v, want 8", got)
+	}
+	if got := v.Advance(0); got != 8 {
+		t.Fatalf("Advance(0) = %v, want 8", got)
+	}
+	if got := v.Now(); got != 8 {
+		t.Fatalf("Now() = %v, want 8", got)
+	}
+}
+
+func TestVirtualSet(t *testing.T) {
+	v := NewVirtual(2)
+	v.Set(10)
+	if got := v.Now(); got != 10 {
+		t.Fatalf("Now() = %v, want 10", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set backwards did not panic")
+		}
+	}()
+	v.Set(3)
+}
+
+func TestVirtualConcurrentAdvance(t *testing.T) {
+	v := NewVirtual(0)
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				v.Advance(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := v.Now(); got != workers*per {
+		t.Fatalf("Now() = %v, want %d", got, workers*per)
+	}
+}
+
+func TestWallTicks(t *testing.T) {
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	w := NewWall(start, time.Minute)
+	now := start
+	w.nowFn = func() time.Time { return now }
+
+	if got := w.Now(); got != 0 {
+		t.Fatalf("at start Now() = %v, want 0", got)
+	}
+	now = start.Add(59 * time.Second)
+	if got := w.Now(); got != 0 {
+		t.Fatalf("at 59s Now() = %v, want 0", got)
+	}
+	now = start.Add(61 * time.Second)
+	if got := w.Now(); got != 1 {
+		t.Fatalf("at 61s Now() = %v, want 1", got)
+	}
+	now = start.Add(-time.Hour)
+	if got := w.Now(); got != 0 {
+		t.Fatalf("before start Now() = %v, want 0", got)
+	}
+}
+
+func TestWallBadPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWall(0) did not panic")
+		}
+	}()
+	NewWall(time.Now(), 0)
+}
+
+func TestFixed(t *testing.T) {
+	f := Fixed(42)
+	if got := f.Now(); got != 42 {
+		t.Fatalf("Fixed.Now() = %v, want 42", got)
+	}
+}
+
+func TestTickString(t *testing.T) {
+	if got := Tick(7).String(); got != "t7" {
+		t.Fatalf("Tick(7).String() = %q, want \"t7\"", got)
+	}
+}

@@ -1,0 +1,331 @@
+// Package container implements knowledge containers: the destination of
+// the paper's second natural law. When tuples leave a relation — rotted
+// by a fungus or consumed by a query — they are "distilled into useful
+// knowledge" here: compact sketches answering counts, distinct values,
+// quantiles, heavy hitters, and membership long after the raw data has
+// disappeared. Containers carry their own freshness and decay under
+// their own schedule, the paper's "stored in a new container subject to
+// different data fungi".
+package container
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"fungusdb/internal/clock"
+	"fungusdb/internal/sketch"
+	"fungusdb/internal/tuple"
+)
+
+// DigestConfig sizes the per-column sketches of a digest. The zero
+// value is unusable; start from DefaultDigestConfig.
+type DigestConfig struct {
+	TopK          int     // heavy-hitter counters per column
+	HLLPrecision  uint8   // HyperLogLog precision (4..16)
+	HistBuckets   int     // histogram buckets for numeric columns (even)
+	SampleSize    int     // reservoir sample size (whole tuples)
+	BloomItems    uint64  // expected distinct values per column
+	BloomFPRate   float64 // bloom false-positive target
+	CountMinEps   float64 // count-min relative error
+	CountMinDelta float64 // count-min failure probability
+}
+
+// DefaultDigestConfig returns sketch sizes suitable for extents from
+// tens of thousands to a few million tuples (~25 KiB per column).
+func DefaultDigestConfig() DigestConfig {
+	return DigestConfig{
+		TopK:          32,
+		HLLPrecision:  12,
+		HistBuckets:   64,
+		SampleSize:    64,
+		BloomItems:    50_000,
+		BloomFPRate:   0.01,
+		CountMinEps:   0.01,
+		CountMinDelta: 0.01,
+	}
+}
+
+// CompactDigestConfig returns sketch sizes for small extents (up to a
+// few thousand tuples, ~1 KiB per column) where the default would dwarf
+// the data it summarises.
+func CompactDigestConfig() DigestConfig {
+	return DigestConfig{
+		TopK:          16,
+		HLLPrecision:  10,
+		HistBuckets:   32,
+		SampleSize:    32,
+		BloomItems:    2_000,
+		BloomFPRate:   0.02,
+		CountMinEps:   0.05,
+		CountMinDelta: 0.05,
+	}
+}
+
+// colDigest is the per-column sketch bundle.
+type colDigest struct {
+	kind  tuple.Kind
+	ndv   *sketch.HLL
+	top   *sketch.TopK
+	freq  *sketch.CountMin
+	bloom *sketch.Bloom
+	hist  *sketch.Histogram // numeric columns only
+}
+
+// Digest summarises a stream of tuples of one schema.
+type Digest struct {
+	schema *tuple.Schema
+	cfg    DigestConfig
+	cols   []*colDigest
+	sample *sketch.Reservoir
+	count  uint64
+	fsum   float64 // summed freshness at absorption time
+	minT   clock.Tick
+	maxT   clock.Tick
+}
+
+// NewDigest builds an empty digest for schema. The rng drives reservoir
+// sampling and must be non-nil.
+func NewDigest(schema *tuple.Schema, cfg DigestConfig, rng *rand.Rand) (*Digest, error) {
+	d := &Digest{schema: schema, cfg: cfg}
+	var err error
+	if d.sample, err = sketch.NewReservoir(cfg.SampleSize, rng); err != nil {
+		return nil, fmt.Errorf("container: %w", err)
+	}
+	for i := 0; i < schema.Len(); i++ {
+		col := schema.Column(i)
+		cd := &colDigest{kind: col.Kind}
+		if cd.ndv, err = sketch.NewHLL(cfg.HLLPrecision); err != nil {
+			return nil, fmt.Errorf("container: column %s: %w", col.Name, err)
+		}
+		if cd.top, err = sketch.NewTopK(cfg.TopK); err != nil {
+			return nil, fmt.Errorf("container: column %s: %w", col.Name, err)
+		}
+		if cd.freq, err = sketch.NewCountMin(cfg.CountMinEps, cfg.CountMinDelta); err != nil {
+			return nil, fmt.Errorf("container: column %s: %w", col.Name, err)
+		}
+		if cd.bloom, err = sketch.NewBloom(cfg.BloomItems, cfg.BloomFPRate); err != nil {
+			return nil, fmt.Errorf("container: column %s: %w", col.Name, err)
+		}
+		if col.Kind == tuple.KindInt || col.Kind == tuple.KindFloat {
+			if cd.hist, err = sketch.NewHistogram(cfg.HistBuckets); err != nil {
+				return nil, fmt.Errorf("container: column %s: %w", col.Name, err)
+			}
+		}
+		d.cols = append(d.cols, cd)
+	}
+	return d, nil
+}
+
+// valueKey renders a value as the byte key fed to the sketches.
+func valueKey(v tuple.Value) []byte {
+	switch v.Kind() {
+	case tuple.KindInt:
+		return strconv.AppendInt(nil, v.AsInt(), 10)
+	case tuple.KindFloat:
+		return strconv.AppendFloat(nil, v.AsFloat(), 'g', -1, 64)
+	case tuple.KindString:
+		return []byte(v.AsString())
+	case tuple.KindBool:
+		if v.AsBool() {
+			return []byte("t")
+		}
+		return []byte("f")
+	}
+	return nil
+}
+
+// Absorb distills one tuple into the digest.
+func (d *Digest) Absorb(tp *tuple.Tuple) error {
+	if len(tp.Attrs) != len(d.cols) {
+		return fmt.Errorf("container: tuple arity %d, digest wants %d", len(tp.Attrs), len(d.cols))
+	}
+	for i, v := range tp.Attrs {
+		cd := d.cols[i]
+		key := valueKey(v)
+		cd.ndv.Add(key)
+		cd.top.Add(key)
+		cd.freq.Add(key)
+		cd.bloom.Add(key)
+		if cd.hist != nil {
+			f, _ := v.Numeric()
+			cd.hist.Add(f)
+		}
+	}
+	d.sample.Add(tuple.AppendEncode(nil, *tp))
+	if d.count == 0 || tp.T < d.minT {
+		d.minT = tp.T
+	}
+	if tp.T > d.maxT {
+		d.maxT = tp.T
+	}
+	d.count++
+	d.fsum += float64(tp.F)
+	return nil
+}
+
+// Count returns the number of absorbed tuples (exact).
+func (d *Digest) Count() uint64 { return d.count }
+
+// MeanFreshness returns the average freshness tuples had when absorbed,
+// 0 when empty. Distill-before-rot pipelines use it to measure how
+// "edible" captured knowledge was.
+func (d *Digest) MeanFreshness() float64 {
+	if d.count == 0 {
+		return 0
+	}
+	return d.fsum / float64(d.count)
+}
+
+// TickRange returns the [min, max] insertion ticks absorbed.
+func (d *Digest) TickRange() (clock.Tick, clock.Tick) { return d.minT, d.maxT }
+
+func (d *Digest) col(name string) (*colDigest, error) {
+	i := d.schema.Index(name)
+	if i < 0 {
+		return nil, fmt.Errorf("container: unknown column %q", name)
+	}
+	return d.cols[i], nil
+}
+
+// NDV estimates the number of distinct values absorbed in column name.
+func (d *Digest) NDV(name string) (uint64, error) {
+	cd, err := d.col(name)
+	if err != nil {
+		return 0, err
+	}
+	return cd.ndv.Estimate(), nil
+}
+
+// Frequency estimates how many times value appeared in column name
+// (never an underestimate).
+func (d *Digest) Frequency(name string, v tuple.Value) (uint64, error) {
+	cd, err := d.col(name)
+	if err != nil {
+		return 0, err
+	}
+	return cd.freq.Estimate(valueKey(v)), nil
+}
+
+// HeavyHitters returns the top-n most frequent values of column name.
+func (d *Digest) HeavyHitters(name string, n int) ([]sketch.Entry, error) {
+	cd, err := d.col(name)
+	if err != nil {
+		return nil, err
+	}
+	return cd.top.Top(n), nil
+}
+
+// MayContain reports whether value possibly appeared in column name;
+// false is definite absence.
+func (d *Digest) MayContain(name string, v tuple.Value) (bool, error) {
+	cd, err := d.col(name)
+	if err != nil {
+		return false, err
+	}
+	return cd.bloom.MayContain(valueKey(v)), nil
+}
+
+// Quantile estimates the q'th quantile of a numeric column.
+func (d *Digest) Quantile(name string, q float64) (float64, error) {
+	cd, err := d.col(name)
+	if err != nil {
+		return 0, err
+	}
+	if cd.hist == nil {
+		return 0, fmt.Errorf("container: column %q is not numeric", name)
+	}
+	return cd.hist.Quantile(q), nil
+}
+
+// Mean returns the exact running mean of a numeric column.
+func (d *Digest) Mean(name string) (float64, error) {
+	cd, err := d.col(name)
+	if err != nil {
+		return 0, err
+	}
+	if cd.hist == nil {
+		return 0, fmt.Errorf("container: column %q is not numeric", name)
+	}
+	return cd.hist.Mean(), nil
+}
+
+// Sum returns the exact running sum of a numeric column.
+func (d *Digest) Sum(name string) (float64, error) {
+	cd, err := d.col(name)
+	if err != nil {
+		return 0, err
+	}
+	if cd.hist == nil {
+		return 0, fmt.Errorf("container: column %q is not numeric", name)
+	}
+	return cd.hist.Sum(), nil
+}
+
+// Sample returns up to cfg.SampleSize absorbed tuples, decoded.
+func (d *Digest) Sample() ([]tuple.Tuple, error) {
+	raw := d.sample.Sample()
+	out := make([]tuple.Tuple, 0, len(raw))
+	for _, enc := range raw {
+		tp, _, err := tuple.Decode(enc, d.schema)
+		if err != nil {
+			return nil, fmt.Errorf("container: corrupt sample: %w", err)
+		}
+		out = append(out, tp)
+	}
+	return out, nil
+}
+
+// Merge folds other into d. Both digests must share the schema and
+// sketch configuration (guaranteed for digests from one Shelf). Counts,
+// sums, NDV and membership merge exactly; quantiles, heavy hitters and
+// the sample merge approximately — see the sketch package for bounds.
+func (d *Digest) Merge(other *Digest) error {
+	if !d.schema.Equal(other.schema) {
+		return fmt.Errorf("container: merge schema mismatch")
+	}
+	if d.cfg != other.cfg {
+		return fmt.Errorf("container: merge config mismatch")
+	}
+	for i, cd := range d.cols {
+		oc := other.cols[i]
+		if err := cd.ndv.Merge(oc.ndv); err != nil {
+			return fmt.Errorf("container: %w", err)
+		}
+		cd.top.Merge(oc.top)
+		if err := cd.freq.Merge(oc.freq); err != nil {
+			return fmt.Errorf("container: %w", err)
+		}
+		if err := cd.bloom.Merge(oc.bloom); err != nil {
+			return fmt.Errorf("container: %w", err)
+		}
+		if cd.hist != nil {
+			cd.hist.Merge(oc.hist)
+		}
+	}
+	d.sample.Merge(other.sample)
+	if other.count > 0 {
+		if d.count == 0 || other.minT < d.minT {
+			d.minT = other.minT
+		}
+		if other.maxT > d.maxT {
+			d.maxT = other.maxT
+		}
+	}
+	d.count += other.count
+	d.fsum += other.fsum
+	return nil
+}
+
+// Bytes returns the approximate memory footprint of all sketches — the
+// number experiment E5 compares against the raw extent size.
+func (d *Digest) Bytes() int {
+	n := d.sample.Bytes() + 96
+	for _, cd := range d.cols {
+		n += cd.ndv.Bytes() + cd.top.Bytes() + cd.freq.Bytes() + cd.bloom.Bytes()
+		if cd.hist != nil {
+			n += cd.hist.Bytes()
+		}
+	}
+	return n
+}

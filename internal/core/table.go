@@ -1,0 +1,444 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"fungusdb/internal/clock"
+	"fungusdb/internal/container"
+	"fungusdb/internal/fungus"
+	"fungusdb/internal/metrics"
+	"fungusdb/internal/query"
+	"fungusdb/internal/storage"
+	"fungusdb/internal/tuple"
+	"fungusdb/internal/wal"
+)
+
+// RotContainer is the shelf container that receives tuples distilled at
+// rot time when DistillOnRot is set.
+const RotContainer = "_rot"
+
+// TableConfig configures CreateTable.
+type TableConfig struct {
+	// Schema is the user-attribute schema (required).
+	Schema *tuple.Schema
+	// Fungus is the decay law applied each tick. Nil means fungus.Null
+	// (the unbounded fridge).
+	Fungus fungus.Fungus
+	// TickEvery is the table's decay period T: the fungus runs on every
+	// TickEvery-th engine tick (0 and 1 both mean every tick). The
+	// paper's clock is per-relation — "the extent of table R decays
+	// with a periodic clock of T seconds" — so two tables of one DB can
+	// rot on different cadences. Container-shelf decay is unaffected.
+	TickEvery int
+	// SegmentSize overrides the store segment capacity (0 = default).
+	SegmentSize int
+	// TouchOnRead restores freshness of every tuple a Peek query
+	// returns, when the fungus supports refresh (fungus.Refresher).
+	TouchOnRead bool
+	// DistillOnRot absorbs rotting tuples into the RotContainer before
+	// eviction — the paper's "inspect them once before removal".
+	DistillOnRot bool
+	// ContainerHalfLife is the decay half-life (ticks) of containers
+	// created by this table; 0 means containers never decay.
+	ContainerHalfLife float64
+	// Digest sizes container sketches; the zero value takes defaults.
+	Digest container.DigestConfig
+	// Persist enables WAL + snapshot persistence (DB needs a Dir).
+	Persist bool
+	// CheckpointEvery writes a snapshot and truncates the WAL after
+	// this many mutations (0 = only on Close).
+	CheckpointEvery int
+}
+
+// TableTickReport summarises one decay cycle of one table.
+type TableTickReport struct {
+	Rotted              int
+	Distilled           int
+	Live                int
+	ContainersDiscarded []string
+}
+
+// Table is one relation: extent, fungus, knowledge shelf, counters, and
+// optional persistence. All methods are safe for concurrent use.
+type Table struct {
+	mu    sync.Mutex
+	name  string
+	cfg   TableConfig
+	clk   clock.Clock
+	rng   *rand.Rand
+	store *storage.Store
+	fng   fungus.Fungus
+	shelf *container.Shelf
+	ctrs  metrics.Counters
+
+	dir       string
+	log       *wal.Log
+	mutations int
+	closed    bool
+
+	rotBuf []tuple.ID // reused across ticks
+}
+
+func newTable(name string, cfg TableConfig, clk clock.Clock, rng *rand.Rand, dir string) (*Table, error) {
+	if cfg.Fungus == nil {
+		cfg.Fungus = fungus.Null{}
+	}
+	if cfg.Digest == (container.DigestConfig{}) {
+		cfg.Digest = container.DefaultDigestConfig()
+	}
+	var opts []storage.Option
+	if cfg.SegmentSize > 0 {
+		opts = append(opts, storage.WithSegmentSize(cfg.SegmentSize))
+	}
+	t := &Table{
+		name: name,
+		cfg:  cfg,
+		clk:  clk,
+		rng:  rng,
+		fng:  cfg.Fungus,
+		dir:  dir,
+	}
+	if dir != "" {
+		store, err := wal.Recover(dir, cfg.Schema, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("core: recover table %q: %w", name, err)
+		}
+		t.store = store
+		log, err := wal.Open(walPath(dir))
+		if err != nil {
+			return nil, err
+		}
+		t.log = log
+	} else {
+		t.store = storage.New(cfg.Schema, opts...)
+	}
+	t.shelf = container.NewShelf(cfg.Schema, cfg.Digest, rng)
+	return t, nil
+}
+
+func walPath(dir string) string { return dir + "/" + wal.LogFile }
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *tuple.Schema { return t.cfg.Schema }
+
+// Shelf returns the table's knowledge containers.
+func (t *Table) Shelf() *container.Shelf { return t.shelf }
+
+// Len returns the live tuple count.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.store.Len()
+}
+
+// Bytes returns the approximate live extent size.
+func (t *Table) Bytes() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.store.Bytes()
+}
+
+// Counters returns a snapshot of lifetime event counters.
+func (t *Table) Counters() metrics.Counters {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ctrs
+}
+
+// StoreStats returns a snapshot of extent storage statistics.
+func (t *Table) StoreStats() storage.Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.store.Stats()
+}
+
+// Profile returns the freshness profile of the extent.
+func (t *Table) Profile() metrics.FreshnessProfile {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return metrics.Profile(t.store)
+}
+
+// TimeSeries profiles the extent in n insertion-order buckets.
+func (t *Table) TimeSeries(n int) []metrics.TimeBucket {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return metrics.TimeSeries(t.store, n)
+}
+
+// Insert appends one tuple with full freshness at the current tick.
+func (t *Table) Insert(attrs []tuple.Value) (tuple.Tuple, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return tuple.Tuple{}, fmt.Errorf("core: table %q is closed", t.name)
+	}
+	tp, err := t.store.Insert(t.clk.Now(), attrs)
+	if err != nil {
+		return tuple.Tuple{}, err
+	}
+	t.ctrs.Inserted++
+	if t.log != nil {
+		if err := t.log.AppendInsert(tp); err != nil {
+			return tuple.Tuple{}, err
+		}
+		if err := t.maybeCheckpointLocked(); err != nil {
+			return tuple.Tuple{}, err
+		}
+	}
+	return tp, nil
+}
+
+// Compile prepares a predicate against this table's schema. Compiled
+// predicates can be reused across queries.
+func (t *Table) Compile(where string) (*query.Predicate, error) {
+	return query.Compile(where, t.cfg.Schema)
+}
+
+// QueryOpts tunes Query.
+type QueryOpts struct {
+	// Limit caps the answer set size; 0 means unlimited. In Consume
+	// mode only the answered tuples are removed.
+	Limit int
+	// Distill names a knowledge container that absorbs the answer set
+	// (created on first use with the table's container half-life).
+	// Empty means no distillation.
+	Distill string
+}
+
+// Query executes Q(T,R,P) with the given mode. In Consume mode every
+// answered tuple is discarded from the extent immediately, implementing
+// the second natural law; in Peek mode the extent is unchanged (and,
+// with TouchOnRead, refreshed).
+func (t *Table) Query(where string, mode query.Mode, opts ...QueryOpts) (*query.Result, error) {
+	pred, err := query.Compile(where, t.cfg.Schema)
+	if err != nil {
+		return nil, err
+	}
+	return t.QueryPred(pred, mode, opts...)
+}
+
+// QueryPred is Query with a pre-compiled predicate.
+func (t *Table) QueryPred(pred *query.Predicate, mode query.Mode, opts ...QueryOpts) (*query.Result, error) {
+	var opt QueryOpts
+	if len(opts) > 0 {
+		opt = opts[0]
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, fmt.Errorf("core: table %q is closed", t.name)
+	}
+
+	res := &query.Result{Schema: t.cfg.Schema, Mode: mode}
+	var matchErr error
+	t.store.Scan(func(tp *tuple.Tuple) bool {
+		res.Scanned++
+		ok, err := pred.Match(tp)
+		if err != nil {
+			matchErr = err
+			return false
+		}
+		if !ok {
+			return true
+		}
+		res.Tuples = append(res.Tuples, tp.Clone())
+		return opt.Limit == 0 || len(res.Tuples) < opt.Limit
+	})
+	if matchErr != nil {
+		return nil, matchErr
+	}
+	t.ctrs.Queries++
+
+	if opt.Distill != "" && len(res.Tuples) > 0 {
+		if err := t.shelf.Absorb(opt.Distill, t.clk.Now(), t.cfg.ContainerHalfLife, res.Tuples); err != nil {
+			return nil, err
+		}
+		if mode == query.Consume {
+			t.ctrs.DistilledQuery += uint64(len(res.Tuples))
+		}
+	}
+
+	switch mode {
+	case query.Consume:
+		for i := range res.Tuples {
+			id := res.Tuples[i].ID
+			if err := t.store.Evict(id); err != nil {
+				return nil, fmt.Errorf("core: consume evict: %w", err)
+			}
+			if egi, ok := t.fng.(*fungus.EGI); ok {
+				egi.Forget(id)
+			}
+			if t.log != nil {
+				if err := t.log.AppendEvict(id); err != nil {
+					return nil, err
+				}
+			}
+		}
+		t.ctrs.Consumed += uint64(len(res.Tuples))
+		if t.log != nil {
+			if err := t.maybeCheckpointLocked(); err != nil {
+				return nil, err
+			}
+		}
+	case query.Peek:
+		if t.cfg.TouchOnRead {
+			if r, ok := t.fng.(fungus.Refresher); ok {
+				now := t.clk.Now()
+				for i := range res.Tuples {
+					r.Touch(now, t.store, res.Tuples[i].ID)
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// SQL parses and executes a SELECT statement against this table:
+//
+//	SELECT [CONSUME] <targets> FROM <this table>
+//	       [WHERE ...] [GROUP BY ...] [ORDER BY ...] [LIMIT n]
+//
+// The CONSUME keyword applies the second natural law to everything the
+// WHERE clause matches (the whole matching set leaves the extent, even
+// when LIMIT truncates the output grid). An optional QueryOpts lets the
+// caller distill the consumed set into a container.
+func (t *Table) SQL(src string, opts ...QueryOpts) (*query.Grid, error) {
+	stmt, err := query.ParseSelect(src)
+	if err != nil {
+		return nil, err
+	}
+	if stmt.From != t.name {
+		return nil, fmt.Errorf("core: statement reads %q, table is %q", stmt.From, t.name)
+	}
+	pred, err := query.FromExpr(stmt.Where, t.cfg.Schema)
+	if err != nil {
+		return nil, err
+	}
+	mode := query.Peek
+	if stmt.Consume {
+		mode = query.Consume
+	}
+	res, err := t.QueryPred(pred, mode, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return query.Execute(stmt, t.cfg.Schema, res.Tuples)
+}
+
+// Tick applies one decay cycle: the fungus runs, rotting tuples are
+// distilled (when configured) and evicted, and the container shelf
+// decays one step.
+func (t *Table) Tick() (TableTickReport, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return TableTickReport{}, fmt.Errorf("core: table %q is closed", t.name)
+	}
+	now := t.clk.Now()
+
+	t.rotBuf = t.rotBuf[:0]
+	if t.cfg.TickEvery <= 1 || (t.ctrs.Ticks+1)%uint64(t.cfg.TickEvery) == 0 {
+		t.rotBuf = t.fng.Tick(now, t.store, t.rng, t.rotBuf)
+	}
+	rep := TableTickReport{Rotted: len(t.rotBuf)}
+
+	if len(t.rotBuf) > 0 && t.cfg.DistillOnRot {
+		// "Inspect them once before removal": absorb the rotten tuples
+		// into the rot container before the extent forgets them.
+		doomed := make([]tuple.Tuple, 0, len(t.rotBuf))
+		for _, id := range t.rotBuf {
+			tp, err := t.store.Get(id)
+			if err != nil {
+				return rep, fmt.Errorf("core: rot fetch: %w", err)
+			}
+			doomed = append(doomed, tp)
+		}
+		if err := t.shelf.Absorb(RotContainer, now, t.cfg.ContainerHalfLife, doomed); err != nil {
+			return rep, err
+		}
+		rep.Distilled = len(doomed)
+		t.ctrs.DistilledRot += uint64(len(doomed))
+	}
+	for _, id := range t.rotBuf {
+		if err := t.store.Evict(id); err != nil {
+			return rep, fmt.Errorf("core: rot evict: %w", err)
+		}
+		if t.log != nil {
+			if err := t.log.AppendEvict(id); err != nil {
+				return rep, err
+			}
+		}
+	}
+	t.ctrs.Rotted += uint64(len(t.rotBuf))
+	t.ctrs.Ticks++
+	if t.log != nil && len(t.rotBuf) > 0 {
+		if err := t.maybeCheckpointLocked(); err != nil {
+			return rep, err
+		}
+	}
+
+	rep.ContainersDiscarded = t.shelf.Tick()
+	rep.Live = t.store.Len()
+	return rep, nil
+}
+
+// Compact reclaims tombstone space in sealed segments.
+func (t *Table) Compact() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.store.Compact()
+}
+
+// Checkpoint snapshots a persistent table and truncates its WAL.
+func (t *Table) Checkpoint() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.checkpointLocked()
+}
+
+func (t *Table) checkpointLocked() error {
+	if t.log == nil {
+		return fmt.Errorf("core: table %q is not persistent", t.name)
+	}
+	if err := wal.Checkpoint(t.dir, t.store, t.log); err != nil {
+		return err
+	}
+	t.mutations = 0
+	return nil
+}
+
+func (t *Table) maybeCheckpointLocked() error {
+	t.mutations++
+	if t.cfg.CheckpointEvery > 0 && t.mutations >= t.cfg.CheckpointEvery {
+		return t.checkpointLocked()
+	}
+	return nil
+}
+
+// Close checkpoints (when persistent) and releases the WAL. A closed
+// table rejects further mutations.
+func (t *Table) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	if t.log == nil {
+		return nil
+	}
+	if err := t.checkpointLocked(); err != nil {
+		t.log.Close()
+		t.log = nil
+		return err
+	}
+	err := t.log.Close()
+	t.log = nil
+	return err
+}

@@ -1,0 +1,196 @@
+package fungus
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"fungusdb/internal/clock"
+	"fungusdb/internal/tuple"
+)
+
+// EGI implements the paper's "Evict Grouped Individuals" fungus. Quoting
+// §2, at each clock cycle T:
+//
+//	"- select an element from R inversely randomly correlated with its
+//	   age and seed it with the fungi F, decreasing its freshness.
+//	 - select all F infected elements and decrease their freshness, also
+//	   affecting the direct neighboring tuples at equal rate."
+//
+// Infection therefore spreads bi-directionally along the insertion-time
+// axis, producing growing rot spots ("Blue Cheese"). When an infected
+// tuple's freshness reaches zero it rots; because its neighbours were
+// infected first, the spot keeps growing and eventually removes a
+// complete insertion range.
+//
+// The paper's seeding sentence is ambiguous: "inversely randomly
+// correlated with its age" reads literally as young-biased, but every
+// other sentence (retention analogy, removing old insertion ranges,
+// "remains edible for a long time") requires rot to start in OLD data.
+// We resolve it with an AgeBias exponent: the seed position is drawn as
+// u^AgeBias across the live extent ordered old→new, so AgeBias > 1
+// favours old tuples (the default, 2), AgeBias = 1 is uniform, and
+// AgeBias < 1 favours young tuples for anyone preferring the literal
+// reading. The choice is swept in the E6 ablation.
+//
+// EGI keeps its infection set between ticks; it is not safe for
+// concurrent use. The zero value is not usable — construct with NewEGI.
+type EGI struct {
+	seedsPerTick int
+	decayRate    float64
+	ageBias      float64
+	infected     map[tuple.ID]bool
+}
+
+// EGIConfig parameterises NewEGI. SeedsPerTick and DecayRate of zero are
+// meaningful (no seeding / no decay) and useful in experiments; AgeBias
+// zero defaults to 2. Use DefaultEGIConfig for the paper's setup.
+type EGIConfig struct {
+	// SeedsPerTick is how many new infection seeds are planted per
+	// clock cycle. The paper plants one.
+	SeedsPerTick int
+	// DecayRate is the freshness lost per tick by every infected tuple
+	// (and, through infection, by its neighbours).
+	DecayRate float64
+	// AgeBias is the seed-position exponent described above.
+	AgeBias float64
+}
+
+// DefaultEGIConfig returns the configuration used throughout the
+// experiments unless a sweep overrides it: one seed per tick, 0.1
+// freshness lost per infected tick, quadratic old-age bias.
+func DefaultEGIConfig() EGIConfig {
+	return EGIConfig{SeedsPerTick: 1, DecayRate: 0.1, AgeBias: 2}
+}
+
+// NewEGI constructs an EGI fungus. It panics on negative rates, matching
+// the package's configuration convention.
+func NewEGI(cfg EGIConfig) *EGI {
+	if cfg.AgeBias == 0 {
+		cfg.AgeBias = 2
+	}
+	if cfg.SeedsPerTick < 0 || cfg.DecayRate < 0 || cfg.AgeBias <= 0 {
+		panic("fungus: invalid EGI configuration")
+	}
+	return &EGI{
+		seedsPerTick: cfg.SeedsPerTick,
+		decayRate:    cfg.DecayRate,
+		ageBias:      cfg.AgeBias,
+		infected:     make(map[tuple.ID]bool),
+	}
+}
+
+// Name implements Fungus.
+func (e *EGI) Name() string { return "egi" }
+
+// InfectedCount reports the number of currently infected live tuples, a
+// metric the rot-spot experiments chart.
+func (e *EGI) InfectedCount() int { return len(e.infected) }
+
+// Forget drops id from the infection set; the engine calls it when a
+// tuple leaves the extent for reasons other than rot (consume-on-query)
+// and AccessRefresh calls it when an owner touches a tuple.
+func (e *EGI) Forget(id tuple.ID) { delete(e.infected, id) }
+
+// Seed deterministically plants an infection at id, bypassing the
+// age-biased random draw. Experiments use it to place rot spots at known
+// positions (E2).
+func (e *EGI) Seed(id tuple.ID) { e.infected[id] = true }
+
+// Tick implements Fungus.
+func (e *EGI) Tick(now clock.Tick, ext Extent, rng *rand.Rand, rotten []tuple.ID) []tuple.ID {
+	// Phase 1: plant seeds, age-biased. Seeding already "decreas[es]
+	// its freshness" per the paper, which phase 2 performs uniformly
+	// for all infected tuples, seeds included.
+	for i := 0; i < e.seedsPerTick; i++ {
+		if id, ok := e.pickSeed(ext, rng); ok {
+			e.infected[id] = true
+		}
+	}
+
+	// Phase 2: every infected element loses freshness and infects its
+	// direct neighbours at equal rate. Spreading is computed against
+	// the infection set as it stood at the start of the phase so a
+	// spot grows one tuple per side per tick, not arbitrarily far.
+	front := make([]tuple.ID, 0, len(e.infected))
+	for id := range e.infected {
+		front = append(front, id)
+	}
+	// Map iteration order is random; sort so rot reports (and therefore
+	// whole experiment runs) are reproducible for a fixed RNG seed.
+	sort.Slice(front, func(i, j int) bool { return front[i] < front[j] })
+	for _, id := range front {
+		var rotted, missing bool
+		err := ext.Update(id, func(tp *tuple.Tuple) {
+			tp.Infected = true
+			tp.F = (tp.F - tuple.Freshness(e.decayRate)).Clamp()
+			rotted = tp.F.Rotten()
+		})
+		if err != nil {
+			// The tuple left the extent since the last tick (consumed
+			// by a query); the infection dies with it.
+			missing = true
+		}
+		if missing {
+			delete(e.infected, id)
+			continue
+		}
+		if rotted {
+			rotten = append(rotten, id)
+		}
+		// Bi-directional growth along the time axis. Newly infected
+		// neighbours also lose one tick of freshness immediately —
+		// "affecting the direct neighboring tuples at equal rate".
+		for _, step := range [2]func(tuple.ID) (tuple.ID, bool){ext.PrevLive, ext.NextLive} {
+			nb, ok := step(id)
+			if !ok || e.infected[nb] {
+				continue
+			}
+			e.infected[nb] = true
+			var nbRotted bool
+			if err := ext.Update(nb, func(tp *tuple.Tuple) {
+				tp.Infected = true
+				tp.F = (tp.F - tuple.Freshness(e.decayRate)).Clamp()
+				nbRotted = tp.F.Rotten()
+			}); err == nil && nbRotted {
+				rotten = append(rotten, nb)
+			}
+		}
+	}
+
+	// Rotten tuples stay in the infection set until the engine evicts
+	// them; the next tick's Update will fail and prune them. Pruning
+	// here as well keeps the set tight when the engine evicts promptly.
+	for _, id := range rotten {
+		delete(e.infected, id)
+	}
+	return rotten
+}
+
+// pickSeed draws a live tuple ID with position bias u^ageBias over the
+// live ID range ordered old→new, then snaps to the nearest live tuple.
+func (e *EGI) pickSeed(ext Extent, rng *rand.Rand) (tuple.ID, bool) {
+	lo, ok := ext.FirstLive()
+	if !ok {
+		return 0, false
+	}
+	hi, _ := ext.LastLive()
+	if hi == lo {
+		return lo, true
+	}
+	span := float64(hi - lo)
+	pos := math.Pow(rng.Float64(), e.ageBias) * span
+	target := lo + tuple.ID(pos)
+	if target <= lo {
+		return lo, true // lo is live by definition; also avoids target-1 underflow
+	}
+	// Snap: target may be a tombstone; prefer the next live tuple, then
+	// the previous.
+	if id, ok := ext.NextLive(target - 1); ok { // NextLive is strict, so -1 includes target
+		return id, true
+	}
+	if id, ok := ext.PrevLive(target); ok {
+		return id, true
+	}
+	return 0, false
+}

@@ -1,0 +1,216 @@
+// Package ingest drives data from workload sources into tables: the
+// "data ingestion pipeline" the paper names as the place where rotting
+// is pre-empted by cooking data "into useful information a.s.a.p."
+// (§3).
+//
+// A Pipeline pulls rows from a Source, batches them, and applies an
+// optional Refiner stage that can distill or drop rows before they ever
+// reach the extent — cooking at ingestion time. Pipelines run either
+// synchronously (Run, used by experiments for determinism) or in the
+// background (Start/Stop) with rate limiting against real time.
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"fungusdb/internal/core"
+	"fungusdb/internal/tuple"
+)
+
+// Source yields rows; workload generators satisfy it.
+type Source interface {
+	Schema() *tuple.Schema
+	Next() []tuple.Value
+}
+
+// Refiner inspects a row before insertion. Return keep=false to drop
+// the row (it never enters the extent); the Refiner may distill dropped
+// rows elsewhere — cooking at the pipeline stage.
+type Refiner interface {
+	Refine(row []tuple.Value) (keep bool, err error)
+}
+
+// RefinerFunc adapts a function to the Refiner interface.
+type RefinerFunc func(row []tuple.Value) (bool, error)
+
+// Refine implements Refiner.
+func (f RefinerFunc) Refine(row []tuple.Value) (bool, error) { return f(row) }
+
+// Config parameterises a Pipeline.
+type Config struct {
+	// BatchSize groups inserts; stats are updated per batch. Must be
+	// positive.
+	BatchSize int
+	// Refiner filters/cooks rows before insert. Nil keeps everything.
+	Refiner Refiner
+	// DistillDropped, when non-empty, names a knowledge container on
+	// the table's shelf that absorbs refiner-dropped rows — cooking at
+	// the pipeline stage instead of discarding outright. The container
+	// never decays (half-life 0).
+	DistillDropped string
+	// RatePerSecond limits background ingestion (Start). Zero means
+	// unthrottled. Ignored by Run, which is driven by explicit counts.
+	RatePerSecond float64
+}
+
+// Stats reports pipeline progress.
+type Stats struct {
+	Pulled   uint64 // rows drawn from the source
+	Inserted uint64 // rows that reached the extent
+	Dropped  uint64 // rows the refiner discarded
+	Batches  uint64
+}
+
+// Pipeline connects one Source to one Table.
+type Pipeline struct {
+	mu    sync.Mutex
+	src   Source
+	tbl   *core.Table
+	cfg   Config
+	stats Stats
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// New builds a pipeline. The source schema must equal the table schema.
+func New(src Source, tbl *core.Table, cfg Config) (*Pipeline, error) {
+	if cfg.BatchSize <= 0 {
+		return nil, errors.New("ingest: batch size must be positive")
+	}
+	if !src.Schema().Equal(tbl.Schema()) {
+		return nil, fmt.Errorf("ingest: source schema (%s) != table schema (%s)", src.Schema(), tbl.Schema())
+	}
+	return &Pipeline{src: src, tbl: tbl, cfg: cfg}, nil
+}
+
+// Stats returns a snapshot of pipeline counters.
+func (p *Pipeline) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Run synchronously ingests exactly n rows (before refinement) and
+// returns the number actually inserted. Experiments use Run for
+// deterministic, clock-independent loading.
+func (p *Pipeline) Run(n int) (int, error) {
+	inserted := 0
+	for done := 0; done < n; {
+		batch := p.cfg.BatchSize
+		if rem := n - done; rem < batch {
+			batch = rem
+		}
+		ins, err := p.runBatch(batch)
+		inserted += ins
+		if err != nil {
+			return inserted, err
+		}
+		done += batch
+	}
+	return inserted, nil
+}
+
+func (p *Pipeline) runBatch(batch int) (int, error) {
+	inserted := 0
+	for i := 0; i < batch; i++ {
+		row := p.src.Next()
+		p.mu.Lock()
+		p.stats.Pulled++
+		p.mu.Unlock()
+		if p.cfg.Refiner != nil {
+			keep, err := p.cfg.Refiner.Refine(row)
+			if err != nil {
+				return inserted, fmt.Errorf("ingest: refine: %w", err)
+			}
+			if !keep {
+				if p.cfg.DistillDropped != "" {
+					// Dropped rows never get a tuple ID or tick; wrap
+					// them ephemerally so the digest can absorb them.
+					tp := tuple.Tuple{Attrs: row, F: tuple.Full}
+					err := p.tbl.Shelf().Absorb(p.cfg.DistillDropped, 0, 0, []tuple.Tuple{tp})
+					if err != nil {
+						return inserted, fmt.Errorf("ingest: distill dropped: %w", err)
+					}
+				}
+				p.mu.Lock()
+				p.stats.Dropped++
+				p.mu.Unlock()
+				continue
+			}
+		}
+		if _, err := p.tbl.Insert(row); err != nil {
+			return inserted, fmt.Errorf("ingest: insert: %w", err)
+		}
+		inserted++
+		p.mu.Lock()
+		p.stats.Inserted++
+		p.mu.Unlock()
+	}
+	p.mu.Lock()
+	p.stats.Batches++
+	p.mu.Unlock()
+	return inserted, nil
+}
+
+// Start launches background ingestion until Stop (or ctx cancellation).
+// It returns an error if the pipeline is already running.
+func (p *Pipeline) Start(ctx context.Context) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cancel != nil {
+		return errors.New("ingest: pipeline already running")
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	p.cancel = cancel
+	p.done = make(chan struct{})
+
+	interval := time.Duration(0)
+	if p.cfg.RatePerSecond > 0 {
+		interval = time.Duration(float64(time.Second) * float64(p.cfg.BatchSize) / p.cfg.RatePerSecond)
+	}
+
+	go func() {
+		defer close(p.done)
+		var tick *time.Ticker
+		if interval > 0 {
+			tick = time.NewTicker(interval)
+			defer tick.Stop()
+		}
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+			if _, err := p.runBatch(p.cfg.BatchSize); err != nil {
+				return // table closed or schema violation; stop quietly
+			}
+			if tick != nil {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+				}
+			}
+		}
+	}()
+	return nil
+}
+
+// Stop halts background ingestion and waits for the worker to exit. It
+// is a no-op when the pipeline is not running.
+func (p *Pipeline) Stop() {
+	p.mu.Lock()
+	cancel, done := p.cancel, p.done
+	p.cancel, p.done = nil, nil
+	p.mu.Unlock()
+	if cancel != nil {
+		cancel()
+		<-done
+	}
+}

@@ -1,0 +1,228 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"fungusdb/internal/core"
+	"fungusdb/internal/tuple"
+	"fungusdb/internal/workload"
+)
+
+func newTable(t *testing.T, schema *tuple.Schema) *core.Table {
+	t.Helper()
+	db, err := core.Open(core.DBConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	tbl, err := db.CreateTable("t", core.TableConfig{Schema: schema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestRunIngestsExactly(t *testing.T) {
+	gen := workload.NewIoT(10, 1)
+	tbl := newTable(t, gen.Schema())
+	p, err := New(gen, tbl, Config{BatchSize: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := p.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 || tbl.Len() != 100 {
+		t.Errorf("inserted %d, table %d", n, tbl.Len())
+	}
+	st := p.Stats()
+	if st.Pulled != 100 || st.Inserted != 100 || st.Dropped != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Batches != 15 { // 14 full batches of 7 + final 2
+		t.Errorf("batches = %d, want 15", st.Batches)
+	}
+}
+
+func TestRefinerDropsRows(t *testing.T) {
+	gen := workload.NewSyslog(4, 2)
+	tbl := newTable(t, gen.Schema())
+	// Cook at ingestion: drop the chatty severities (6 and 7).
+	refiner := RefinerFunc(func(row []tuple.Value) (bool, error) {
+		return row[1].AsInt() < 6, nil
+	})
+	p, err := New(gen, tbl, Config{BatchSize: 50, Refiner: refiner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Pulled != 1000 {
+		t.Errorf("pulled %d", st.Pulled)
+	}
+	if st.Inserted+st.Dropped != 1000 {
+		t.Errorf("inserted %d + dropped %d != 1000", st.Inserted, st.Dropped)
+	}
+	if st.Dropped < 700 { // ~85% of syslog is severity >= 6
+		t.Errorf("dropped only %d chatty rows", st.Dropped)
+	}
+	if tbl.Len() != int(st.Inserted) {
+		t.Errorf("table %d != inserted %d", tbl.Len(), st.Inserted)
+	}
+}
+
+func TestDistillDroppedRows(t *testing.T) {
+	gen := workload.NewSyslog(4, 9)
+	tbl := newTable(t, gen.Schema())
+	refiner := RefinerFunc(func(row []tuple.Value) (bool, error) {
+		return row[1].AsInt() < 6, nil // keep only the serious lines
+	})
+	p, err := New(gen, tbl, Config{
+		BatchSize:      100,
+		Refiner:        refiner,
+		DistillDropped: "chatter",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	c := tbl.Shelf().Get("chatter")
+	if c == nil {
+		t.Fatal("dropped-row container missing")
+	}
+	if c.Digest.Count() != st.Dropped {
+		t.Errorf("container %d != dropped %d", c.Digest.Count(), st.Dropped)
+	}
+	// The chatter knowledge is queryable even though no chatty row ever
+	// entered the extent.
+	ndv, err := c.Digest.NDV("host")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ndv < 3 || ndv > 5 {
+		t.Errorf("NDV(host) over dropped rows = %d, want ≈4", ndv)
+	}
+}
+
+func TestRefinerErrorAborts(t *testing.T) {
+	gen := workload.NewIoT(5, 3)
+	tbl := newTable(t, gen.Schema())
+	boom := errors.New("boom")
+	p, _ := New(gen, tbl, Config{BatchSize: 10, Refiner: RefinerFunc(func([]tuple.Value) (bool, error) {
+		return false, boom
+	})})
+	if _, err := p.Run(10); !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	gen := workload.NewIoT(5, 4)
+	tbl := newTable(t, gen.Schema())
+	if _, err := New(gen, tbl, Config{BatchSize: 0}); err == nil {
+		t.Error("zero batch accepted")
+	}
+	other := newTable(t, workload.NewSyslog(2, 1).Schema())
+	if _, err := New(gen, other, Config{BatchSize: 1}); err == nil {
+		t.Error("schema mismatch accepted")
+	}
+}
+
+func TestBackgroundStartStop(t *testing.T) {
+	gen := workload.NewIoT(5, 5)
+	tbl := newTable(t, gen.Schema())
+	p, err := New(gen, tbl, Config{BatchSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(context.Background()); err == nil {
+		t.Error("double start accepted")
+	}
+	deadline := time.After(5 * time.Second)
+	for tbl.Len() < 100 {
+		select {
+		case <-deadline:
+			t.Fatalf("background ingest too slow: %d rows", tbl.Len())
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	p.Stop()
+	n := tbl.Len()
+	time.Sleep(20 * time.Millisecond)
+	if tbl.Len() != n {
+		t.Error("ingestion continued after Stop")
+	}
+	p.Stop() // no-op
+}
+
+func TestBackgroundRateLimitThrottles(t *testing.T) {
+	gen := workload.NewIoT(5, 6)
+	tbl := newTable(t, gen.Schema())
+	// 1000 rows/s in batches of 10 -> one batch per 10ms.
+	p, err := New(gen, tbl, Config{BatchSize: 10, RatePerSecond: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	p.Stop()
+	got := tbl.Len()
+	// ~100ms at 1000/s is ~100 rows; allow generous scheduling slack
+	// but catch an unthrottled burst (which would insert tens of
+	// thousands).
+	if got > 1000 {
+		t.Errorf("rate limiter ineffective: %d rows in 100ms", got)
+	}
+	if got == 0 {
+		t.Error("nothing ingested")
+	}
+}
+
+func TestBackgroundStopsOnClosedTable(t *testing.T) {
+	gen := workload.NewIoT(5, 7)
+	tbl := newTable(t, gen.Schema())
+	p, _ := New(gen, tbl, Config{BatchSize: 5})
+	tbl.Close()
+	if err := p.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// The worker must exit promptly on insert failure.
+	deadline := time.After(2 * time.Second)
+	select {
+	case <-p.done:
+	case <-deadline:
+		t.Fatal("worker did not exit after table close")
+	}
+	p.Stop()
+}
+
+func TestContextCancellationStops(t *testing.T) {
+	gen := workload.NewIoT(5, 8)
+	tbl := newTable(t, gen.Schema())
+	p, _ := New(gen, tbl, Config{BatchSize: 10, RatePerSecond: 100})
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := p.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	select {
+	case <-p.done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("worker did not exit on context cancellation")
+	}
+}

@@ -1,0 +1,276 @@
+// Package query implements the paper's second natural law. Queries are
+// select-from-where expressions A = Q(T,R,P): a predicate P compiled
+// from a small SQL-like WHERE grammar, a target projection T, and an
+// execution mode. In Consume mode "the extent of table R is replaced by
+// each query Q into the union of the answer set of Q and the reduced
+// extent of R" — matching tuples are removed as they are answered. Peek
+// mode is the classical non-destructive read, kept as the baseline.
+//
+// The engine (internal/core) owns execution; this package provides the
+// compiled predicate, projection and aggregation machinery.
+package query
+
+import (
+	"fmt"
+
+	"fungusdb/internal/tuple"
+)
+
+// Env resolves column references during evaluation.
+type Env interface {
+	// Lookup returns the value of the named column. The reserved names
+	// "_t" (insertion tick as INT) and "_f" (freshness as FLOAT) must
+	// be supported.
+	Lookup(name string) (tuple.Value, error)
+}
+
+// TupleEnv adapts a tuple + schema pair into an Env.
+type TupleEnv struct {
+	Schema *tuple.Schema
+	Tuple  *tuple.Tuple
+}
+
+// Lookup implements Env.
+func (e TupleEnv) Lookup(name string) (tuple.Value, error) {
+	switch name {
+	case tuple.SysTick:
+		return tuple.Int(int64(e.Tuple.T)), nil
+	case tuple.SysFresh:
+		return tuple.Float(float64(e.Tuple.F)), nil
+	case tuple.SysID:
+		return tuple.Int(int64(e.Tuple.ID)), nil
+	}
+	i := e.Schema.Index(name)
+	if i < 0 {
+		return tuple.Value{}, fmt.Errorf("query: unknown column %q", name)
+	}
+	return e.Tuple.Attrs[i], nil
+}
+
+// Expr is a node of the compiled expression tree.
+type Expr interface {
+	// Eval computes the node's value for one tuple.
+	Eval(env Env) (tuple.Value, error)
+	// String renders the node as parseable source.
+	String() string
+}
+
+// Lit is a literal constant.
+type Lit struct{ V tuple.Value }
+
+// Eval implements Expr.
+func (l Lit) Eval(Env) (tuple.Value, error) { return l.V, nil }
+
+// String implements Expr.
+func (l Lit) String() string { return l.V.String() }
+
+// Col is a column reference.
+type Col struct{ Name string }
+
+// Eval implements Expr.
+func (c Col) Eval(env Env) (tuple.Value, error) { return env.Lookup(c.Name) }
+
+// String implements Expr.
+func (c Col) String() string { return c.Name }
+
+// BinOp enumerates binary operators.
+type BinOp uint8
+
+// Binary operators in precedence groups (see parser).
+const (
+	OpInvalid BinOp = iota
+	OpOr
+	OpAnd
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+)
+
+var binOpNames = map[BinOp]string{
+	OpOr: "OR", OpAnd: "AND",
+	OpEq: "=", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+}
+
+// String implements fmt.Stringer.
+func (op BinOp) String() string {
+	if s, ok := binOpNames[op]; ok {
+		return s
+	}
+	return "?"
+}
+
+// Bin is a binary operation.
+type Bin struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// String implements Expr.
+func (b Bin) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+// Eval implements Expr.
+func (b Bin) Eval(env Env) (tuple.Value, error) {
+	switch b.Op {
+	case OpAnd, OpOr:
+		return b.evalLogical(env)
+	}
+	lv, err := b.L.Eval(env)
+	if err != nil {
+		return tuple.Value{}, err
+	}
+	rv, err := b.R.Eval(env)
+	if err != nil {
+		return tuple.Value{}, err
+	}
+	switch b.Op {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		cmp, ok := lv.Compare(rv)
+		if !ok {
+			return tuple.Value{}, fmt.Errorf("query: cannot compare %s and %s", lv.Kind(), rv.Kind())
+		}
+		var out bool
+		switch b.Op {
+		case OpEq:
+			out = cmp == 0
+		case OpNe:
+			out = cmp != 0
+		case OpLt:
+			out = cmp < 0
+		case OpLe:
+			out = cmp <= 0
+		case OpGt:
+			out = cmp > 0
+		case OpGe:
+			out = cmp >= 0
+		}
+		return tuple.Bool(out), nil
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod:
+		return evalArith(b.Op, lv, rv)
+	}
+	return tuple.Value{}, fmt.Errorf("query: unknown operator %v", b.Op)
+}
+
+// evalLogical gives AND/OR short-circuit semantics.
+func (b Bin) evalLogical(env Env) (tuple.Value, error) {
+	lv, err := b.L.Eval(env)
+	if err != nil {
+		return tuple.Value{}, err
+	}
+	if lv.Kind() != tuple.KindBool {
+		return tuple.Value{}, fmt.Errorf("query: %s needs BOOL operands, got %s", b.Op, lv.Kind())
+	}
+	if b.Op == OpAnd && !lv.AsBool() {
+		return tuple.Bool(false), nil
+	}
+	if b.Op == OpOr && lv.AsBool() {
+		return tuple.Bool(true), nil
+	}
+	rv, err := b.R.Eval(env)
+	if err != nil {
+		return tuple.Value{}, err
+	}
+	if rv.Kind() != tuple.KindBool {
+		return tuple.Value{}, fmt.Errorf("query: %s needs BOOL operands, got %s", b.Op, rv.Kind())
+	}
+	return rv, nil
+}
+
+func evalArith(op BinOp, lv, rv tuple.Value) (tuple.Value, error) {
+	// String concatenation via '+' as the single string operation.
+	if op == OpAdd && lv.Kind() == tuple.KindString && rv.Kind() == tuple.KindString {
+		return tuple.String_(lv.AsString() + rv.AsString()), nil
+	}
+	// Integer arithmetic stays exact when both operands are INT.
+	if lv.Kind() == tuple.KindInt && rv.Kind() == tuple.KindInt {
+		a, b := lv.AsInt(), rv.AsInt()
+		switch op {
+		case OpAdd:
+			return tuple.Int(a + b), nil
+		case OpSub:
+			return tuple.Int(a - b), nil
+		case OpMul:
+			return tuple.Int(a * b), nil
+		case OpDiv:
+			if b == 0 {
+				return tuple.Value{}, fmt.Errorf("query: division by zero")
+			}
+			return tuple.Int(a / b), nil
+		case OpMod:
+			if b == 0 {
+				return tuple.Value{}, fmt.Errorf("query: modulo by zero")
+			}
+			return tuple.Int(a % b), nil
+		}
+	}
+	a, aok := lv.Numeric()
+	b, bok := rv.Numeric()
+	if !aok || !bok {
+		return tuple.Value{}, fmt.Errorf("query: %s needs numeric operands, got %s and %s", op, lv.Kind(), rv.Kind())
+	}
+	switch op {
+	case OpAdd:
+		return tuple.Float(a + b), nil
+	case OpSub:
+		return tuple.Float(a - b), nil
+	case OpMul:
+		return tuple.Float(a * b), nil
+	case OpDiv:
+		if b == 0 {
+			return tuple.Value{}, fmt.Errorf("query: division by zero")
+		}
+		return tuple.Float(a / b), nil
+	case OpMod:
+		return tuple.Value{}, fmt.Errorf("query: %% needs INT operands")
+	}
+	return tuple.Value{}, fmt.Errorf("query: unknown arithmetic %v", op)
+}
+
+// Not negates a boolean operand.
+type Not struct{ X Expr }
+
+// Eval implements Expr.
+func (n Not) Eval(env Env) (tuple.Value, error) {
+	v, err := n.X.Eval(env)
+	if err != nil {
+		return tuple.Value{}, err
+	}
+	if v.Kind() != tuple.KindBool {
+		return tuple.Value{}, fmt.Errorf("query: NOT needs BOOL, got %s", v.Kind())
+	}
+	return tuple.Bool(!v.AsBool()), nil
+}
+
+// String implements Expr.
+func (n Not) String() string { return fmt.Sprintf("(NOT %s)", n.X) }
+
+// Neg negates a numeric operand.
+type Neg struct{ X Expr }
+
+// Eval implements Expr.
+func (n Neg) Eval(env Env) (tuple.Value, error) {
+	v, err := n.X.Eval(env)
+	if err != nil {
+		return tuple.Value{}, err
+	}
+	switch v.Kind() {
+	case tuple.KindInt:
+		return tuple.Int(-v.AsInt()), nil
+	case tuple.KindFloat:
+		return tuple.Float(-v.AsFloat()), nil
+	}
+	return tuple.Value{}, fmt.Errorf("query: unary minus needs numeric, got %s", v.Kind())
+}
+
+// String implements Expr.
+func (n Neg) String() string { return fmt.Sprintf("(-%s)", n.X) }

@@ -1,0 +1,101 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"fungusdb/internal/tuple"
+)
+
+// Like is the SQL LIKE operator: '%' matches any run (including empty),
+// '_' matches exactly one byte. Both operands must evaluate to STRING.
+type Like struct {
+	X       Expr
+	Pattern Expr
+}
+
+// Eval implements Expr.
+func (l Like) Eval(env Env) (tuple.Value, error) {
+	xv, err := l.X.Eval(env)
+	if err != nil {
+		return tuple.Value{}, err
+	}
+	pv, err := l.Pattern.Eval(env)
+	if err != nil {
+		return tuple.Value{}, err
+	}
+	if xv.Kind() != tuple.KindString || pv.Kind() != tuple.KindString {
+		return tuple.Value{}, fmt.Errorf("query: LIKE needs STRING operands, got %s and %s", xv.Kind(), pv.Kind())
+	}
+	return tuple.Bool(likeMatch(xv.AsString(), pv.AsString())), nil
+}
+
+// String implements Expr.
+func (l Like) String() string { return fmt.Sprintf("(%s LIKE %s)", l.X, l.Pattern) }
+
+// likeMatch implements %/_ globbing without regexp, iteratively: on a
+// mismatch after a '%', backtrack to the character after the last '%'.
+func likeMatch(s, pat string) bool {
+	si, pi := 0, 0
+	star, starSi := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pat) && (pat[pi] == '_' || pat[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pat) && pat[pi] == '%':
+			star, starSi = pi, si
+			pi++
+		case star >= 0:
+			starSi++
+			si = starSi
+			pi = star + 1
+		default:
+			return false
+		}
+	}
+	for pi < len(pat) && pat[pi] == '%' {
+		pi++
+	}
+	return pi == len(pat)
+}
+
+// In is the SQL IN operator: true when X equals any list member.
+// Incomparable kinds in the list are skipped rather than erroring,
+// matching the two-valued semantics of the rest of the engine.
+type In struct {
+	X    Expr
+	List []Expr
+}
+
+// Eval implements Expr.
+func (n In) Eval(env Env) (tuple.Value, error) {
+	xv, err := n.X.Eval(env)
+	if err != nil {
+		return tuple.Value{}, err
+	}
+	for _, e := range n.List {
+		v, err := e.Eval(env)
+		if err != nil {
+			return tuple.Value{}, err
+		}
+		if cmp, ok := xv.Compare(v); ok && cmp == 0 {
+			return tuple.Bool(true), nil
+		}
+	}
+	return tuple.Bool(false), nil
+}
+
+// String implements Expr.
+func (n In) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "(%s IN (", n.X)
+	for i, e := range n.List {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(e.String())
+	}
+	b.WriteString("))")
+	return b.String()
+}

@@ -1,0 +1,194 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokString
+	tokOp     // one of = != < <= > >= + - * / % ( )
+	tokAnd    // keyword AND
+	tokOr     // keyword OR
+	tokNot    // keyword NOT
+	tokTrue   // keyword TRUE
+	tokFalse  // keyword FALSE
+	tokLParen // (
+	tokRParen // )
+	tokComma  // ,
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int // byte offset in the source, for error messages
+}
+
+// lex tokenises a WHERE-clause source string.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '*':
+			// '*' doubles as multiply and the SELECT star; the parsers
+			// disambiguate by context.
+			toks = append(toks, token{tokOp, "*", i})
+			i++
+		case strings.ContainsRune("=+-/%", rune(c)):
+			toks = append(toks, token{tokOp, string(c), i})
+			i++
+		case c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokOp, "!=", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("query: stray '!' at %d (use != or NOT)", i)
+			}
+		case c == '<':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokOp, "<=", i})
+				i += 2
+			} else if i+1 < len(src) && src[i+1] == '>' {
+				toks = append(toks, token{tokOp, "!=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokOp, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, ">", i})
+				i++
+			}
+		case c == '\'' || c == '"':
+			str, next, err := lexString(src, i)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{tokString, str, i})
+			i = next
+		case c >= '0' && c <= '9' || c == '.':
+			text, isFloat, next, err := lexNumber(src, i)
+			if err != nil {
+				return nil, err
+			}
+			kind := tokInt
+			if isFloat {
+				kind = tokFloat
+			}
+			toks = append(toks, token{kind, text, i})
+			i = next
+		case isIdentStart(rune(c)):
+			j := i + 1
+			for j < len(src) && isIdentPart(rune(src[j])) {
+				j++
+			}
+			word := src[i:j]
+			kind := tokIdent
+			switch strings.ToUpper(word) {
+			case "AND":
+				kind = tokAnd
+			case "OR":
+				kind = tokOr
+			case "NOT":
+				kind = tokNot
+			case "TRUE":
+				kind = tokTrue
+			case "FALSE":
+				kind = tokFalse
+			}
+			toks = append(toks, token{kind, word, i})
+			i = j
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src)})
+	return toks, nil
+}
+
+func lexString(src string, start int) (val string, next int, err error) {
+	quote := src[start]
+	var b strings.Builder
+	i := start + 1
+	for i < len(src) {
+		c := src[i]
+		if c == quote {
+			if i+1 < len(src) && src[i+1] == quote { // doubled quote escapes
+				b.WriteByte(quote)
+				i += 2
+				continue
+			}
+			return b.String(), i + 1, nil
+		}
+		b.WriteByte(c)
+		i++
+	}
+	return "", 0, fmt.Errorf("query: unterminated string at %d", start)
+}
+
+func lexNumber(src string, start int) (text string, isFloat bool, next int, err error) {
+	i := start
+	for i < len(src) && (src[i] >= '0' && src[i] <= '9') {
+		i++
+	}
+	if i < len(src) && src[i] == '.' {
+		isFloat = true
+		i++
+		for i < len(src) && (src[i] >= '0' && src[i] <= '9') {
+			i++
+		}
+	}
+	if i < len(src) && (src[i] == 'e' || src[i] == 'E') {
+		isFloat = true
+		i++
+		if i < len(src) && (src[i] == '+' || src[i] == '-') {
+			i++
+		}
+		digits := 0
+		for i < len(src) && (src[i] >= '0' && src[i] <= '9') {
+			i++
+			digits++
+		}
+		if digits == 0 {
+			return "", false, 0, fmt.Errorf("query: malformed exponent at %d", start)
+		}
+	}
+	text = src[start:i]
+	if text == "." {
+		return "", false, 0, fmt.Errorf("query: stray '.' at %d", start)
+	}
+	return text, isFloat, i, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,328 @@
+package query
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"fungusdb/internal/tuple"
+)
+
+var testSchema = tuple.MustSchema(
+	tuple.Column{Name: "device", Kind: tuple.KindString},
+	tuple.Column{Name: "temp", Kind: tuple.KindFloat},
+	tuple.Column{Name: "count", Kind: tuple.KindInt},
+	tuple.Column{Name: "ok", Kind: tuple.KindBool},
+)
+
+func testTuple(device string, temp float64, count int64, ok bool) tuple.Tuple {
+	tp := tuple.New(1, 10, []tuple.Value{
+		tuple.String_(device), tuple.Float(temp), tuple.Int(count), tuple.Bool(ok),
+	})
+	tp.F = 0.5
+	return tp
+}
+
+func evalBool(t *testing.T, src string, tp tuple.Tuple) bool {
+	t.Helper()
+	p, err := Compile(src, testSchema)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", src, err)
+	}
+	got, err := p.Match(&tp)
+	if err != nil {
+		t.Fatalf("Match(%q): %v", src, err)
+	}
+	return got
+}
+
+func TestPredicateComparisons(t *testing.T) {
+	tp := testTuple("sensor-1", 21.5, 3, true)
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"temp > 20", true},
+		{"temp > 21.5", false},
+		{"temp >= 21.5", true},
+		{"temp < 100", true},
+		{"temp <= 21", false},
+		{"count = 3", true},
+		{"count != 3", false},
+		{"count <> 3", false},
+		{"device = 'sensor-1'", true},
+		{"device = \"sensor-1\"", true},
+		{"device != 'sensor-2'", true},
+		{"ok = TRUE", true},
+		{"ok", true},
+		{"NOT ok", false},
+		{"", true}, // empty predicate selects everything
+	}
+	for _, c := range cases {
+		if got := evalBool(t, c.src, tp); got != c.want {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestPredicateLogicalOps(t *testing.T) {
+	tp := testTuple("a", 10, 5, false)
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"temp = 10 AND count = 5", true},
+		{"temp = 10 AND count = 6", false},
+		{"temp = 11 OR count = 5", true},
+		{"temp = 11 OR count = 6", false},
+		{"NOT (temp = 11) AND NOT ok", true},
+		// Precedence: AND binds tighter than OR.
+		{"temp = 11 OR temp = 10 AND count = 5", true},
+		{"(temp = 11 OR temp = 10) AND count = 6", false},
+	}
+	for _, c := range cases {
+		if got := evalBool(t, c.src, tp); got != c.want {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestPredicateArithmetic(t *testing.T) {
+	tp := testTuple("a", 10, 4, true)
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"temp * 2 = 20", true},
+		{"count + 1 = 5", true},
+		{"count - 6 = -2", true},
+		{"count / 2 = 2", true},
+		{"count % 3 = 1", true},
+		{"-count = -4", true},
+		{"temp + count = 14", true},
+		{"(temp + 2) * 2 = 24", true},
+		{"device + '!' = 'a!'", true},
+		{"2 + 3 * 4 = 14", true}, // * binds tighter than +
+	}
+	for _, c := range cases {
+		if got := evalBool(t, c.src, tp); got != c.want {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestPredicateSystemColumns(t *testing.T) {
+	tp := testTuple("a", 1, 1, true) // inserted at tick 10, freshness 0.5
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"_t = 10", true},
+		{"_t < 5", false},
+		{"_f = 0.5", true},
+		{"_f > 0.25 AND _f < 0.75", true},
+	}
+	for _, c := range cases {
+		if got := evalBool(t, c.src, tp); got != c.want {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestCompileRejectsUnknownColumn(t *testing.T) {
+	_, err := Compile("nosuch > 1", testSchema)
+	if err == nil || !strings.Contains(err.Error(), "unknown column") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCompileRejectsSyntaxErrors(t *testing.T) {
+	for _, src := range []string{
+		"temp >", "AND temp", "temp = )", "(temp = 1", "temp = 'open",
+		"temp ! 1", "1 2", "temp = 1e", "temp = .",
+	} {
+		if _, err := Compile(src, testSchema); err == nil {
+			t.Errorf("Compile(%q) accepted", src)
+		}
+	}
+}
+
+func TestMatchTypeErrors(t *testing.T) {
+	tp := testTuple("a", 1, 1, true)
+	for _, src := range []string{
+		"device > 5",       // string vs int comparison
+		"temp AND ok",      // non-bool logical operand
+		"NOT temp",         // NOT on float
+		"device * 2 = 'x'", // arithmetic on string
+		"count / 0 = 1",    // division by zero
+		"count % 0 = 1",    // modulo by zero
+		"temp + 1",         // non-boolean predicate result
+		"-device = 'a'",    // negate string
+	} {
+		p, err := Compile(src, testSchema)
+		if err != nil {
+			continue // some are caught at compile time; fine either way
+		}
+		if _, err := p.Match(&tp); err == nil {
+			t.Errorf("Match(%q) did not error", src)
+		}
+	}
+}
+
+func TestShortCircuitSkipsErrors(t *testing.T) {
+	tp := testTuple("a", 1, 0, false)
+	// The right side would divide by zero, but the left side decides.
+	if got := evalBool(t, "FALSE AND 1 / count = 1", tp); got {
+		t.Error("FALSE AND ... = true")
+	}
+	if got := evalBool(t, "TRUE OR 1 / count = 1", tp); !got {
+		t.Error("TRUE OR ... = false")
+	}
+}
+
+func TestExprStringRoundTrips(t *testing.T) {
+	srcs := []string{
+		"temp > 20 AND device = 'x'",
+		"NOT (ok OR count < 3)",
+		"count + 1 * 2 >= 3",
+		"-temp < 0 OR _f > 0.5",
+	}
+	for _, src := range srcs {
+		e1 := MustParse(src)
+		e2, err := Parse(e1.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q -> %q failed: %v", src, e1.String(), err)
+		}
+		if e1.String() != e2.String() {
+			t.Errorf("String round trip: %q -> %q", e1.String(), e2.String())
+		}
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := &Result{
+		Schema: testSchema,
+		Tuples: []tuple.Tuple{
+			testTuple("a", 10, 1, true),
+			testTuple("b", 20, 2, false),
+		},
+		Scanned: 5,
+		Mode:    Consume,
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	if r.FreshnessMass() != 1.0 { // two tuples at 0.5 each
+		t.Errorf("FreshnessMass = %v", r.FreshnessMass())
+	}
+	if r.MeanFreshness() != 0.5 {
+		t.Errorf("MeanFreshness = %v", r.MeanFreshness())
+	}
+	if r.Bytes() <= 0 {
+		t.Error("Bytes not positive")
+	}
+	if r.Mode.String() != "consume" || Peek.String() != "peek" {
+		t.Error("Mode strings wrong")
+	}
+
+	vals, err := r.Project(1, []string{"device", "_f", "temp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0].AsString() != "b" || vals[1].AsFloat() != 0.5 || vals[2].AsFloat() != 20 {
+		t.Errorf("Project = %v", vals)
+	}
+	if _, err := r.Project(0, []string{"nosuch"}); err == nil {
+		t.Error("Project unknown column accepted")
+	}
+
+	empty := &Result{Schema: testSchema}
+	if empty.MeanFreshness() != 0 {
+		t.Error("empty MeanFreshness not 0")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	r := &Result{
+		Schema: testSchema,
+		Tuples: []tuple.Tuple{
+			testTuple("a", 10, 1, true),
+			testTuple("b", 30, 3, true),
+			testTuple("c", 20, 2, true),
+		},
+	}
+	a, err := r.Aggregate("temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 3 || a.Sum() != 60 || a.Min() != 10 || a.Max() != 30 || a.Mean() != 20 {
+		t.Errorf("agg = count %d sum %v min %v max %v mean %v", a.Count(), a.Sum(), a.Min(), a.Max(), a.Mean())
+	}
+	if _, err := r.Aggregate("device"); err == nil {
+		t.Error("aggregate over string accepted")
+	}
+	if _, err := r.Aggregate("nosuch"); err == nil {
+		t.Error("aggregate over unknown column accepted")
+	}
+	var zero Agg
+	if zero.Mean() != 0 || zero.Min() != 0 || zero.Max() != 0 {
+		t.Error("zero Agg accessors not 0")
+	}
+}
+
+// Property: integer comparison predicates agree with Go's operators.
+func TestQuickIntPredicates(t *testing.T) {
+	schema := tuple.MustSchema(tuple.Column{Name: "x", Kind: tuple.KindInt})
+	lt := MustCompile("x < 0", schema)
+	ge := MustCompile("x >= 0", schema)
+	f := func(x int64) bool {
+		tp := tuple.New(0, 0, []tuple.Value{tuple.Int(x)})
+		a, err1 := lt.Match(&tp)
+		b, err2 := ge.Match(&tp)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return a == (x < 0) && b == (x >= 0) && a != b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: De Morgan's law holds for arbitrary boolean tuples.
+func TestQuickDeMorgan(t *testing.T) {
+	schema := tuple.MustSchema(
+		tuple.Column{Name: "p", Kind: tuple.KindBool},
+		tuple.Column{Name: "q", Kind: tuple.KindBool},
+	)
+	lhs := MustCompile("NOT (p AND q)", schema)
+	rhs := MustCompile("NOT p OR NOT q", schema)
+	f := func(p, q bool) bool {
+		tp := tuple.New(0, 0, []tuple.Value{tuple.Bool(p), tuple.Bool(q)})
+		a, err1 := lhs.Match(&tp)
+		b, err2 := rhs.Match(&tp)
+		return err1 == nil && err2 == nil && a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPredicateSourceAndExpr(t *testing.T) {
+	p := MustCompile("temp > 1", testSchema)
+	if p.Source() != "temp > 1" {
+		t.Errorf("Source = %q", p.Source())
+	}
+	if p.Expr() == nil {
+		t.Error("Expr nil")
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	tp := testTuple("it''s", 1, 1, true)
+	// Doubled quotes escape inside both quote styles.
+	if !evalBool(t, "device = 'it''''s'", tp) {
+		// device value is "it''s": the source needs each ' doubled.
+		t.Error("doubled single-quote escape failed")
+	}
+}

@@ -1,0 +1,604 @@
+package query
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fungusdb/internal/tuple"
+)
+
+// SelectStmt is a parsed SELECT statement:
+//
+//	SELECT [CONSUME] <targets> FROM <table>
+//	       [WHERE <expr>] [GROUP BY <cols>]
+//	       [ORDER BY <col> [ASC|DESC], ...] [LIMIT n]
+//
+// Targets are '*', expressions, or aggregate calls COUNT(*) /
+// COUNT(expr) / SUM / AVG / MIN / MAX (expr), optionally aliased with
+// AS. The CONSUME keyword selects the paper's second-law semantics:
+// everything the statement reads is removed from the extent.
+type SelectStmt struct {
+	Consume bool
+	Targets []SelectTarget
+	From    string
+	Where   Expr // nil = all
+	GroupBy []string
+	OrderBy []OrderKey
+	Limit   int // 0 = unlimited
+}
+
+// AggKind enumerates aggregate functions.
+type AggKind uint8
+
+// Aggregate functions.
+const (
+	AggNone AggKind = iota
+	AggCount
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+var aggNames = map[string]AggKind{
+	"COUNT": AggCount, "SUM": AggSum, "AVG": AggAvg, "MIN": AggMin, "MAX": AggMax,
+}
+
+func (a AggKind) String() string {
+	for n, k := range aggNames {
+		if k == a {
+			return n
+		}
+	}
+	return ""
+}
+
+// SelectTarget is one output column.
+type SelectTarget struct {
+	Star  bool    // '*': expand to all schema columns (plain targets only)
+	Agg   AggKind // AggNone for plain expressions
+	Expr  Expr    // nil for COUNT(*) and Star
+	Alias string  // output column name
+}
+
+// OrderKey is one ORDER BY element, referencing an output column name.
+type OrderKey struct {
+	Col  string
+	Desc bool
+}
+
+// ParseSelect parses a SELECT statement.
+func ParseSelect(src string) (*SelectStmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	if !p.eatKeyword("SELECT") {
+		return nil, fmt.Errorf("query: statement must start with SELECT")
+	}
+	stmt := &SelectStmt{}
+	if p.eatKeyword("CONSUME") {
+		stmt.Consume = true
+	}
+	for {
+		tgt, err := p.parseTarget()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Targets = append(stmt.Targets, tgt)
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+	if !p.eatKeyword("FROM") {
+		return nil, fmt.Errorf("query: missing FROM at %d", p.peek().pos)
+	}
+	from := p.next()
+	if from.kind != tokIdent {
+		return nil, fmt.Errorf("query: FROM wants a table name at %d", from.pos)
+	}
+	stmt.From = from.text
+
+	if p.eatKeyword("WHERE") {
+		w, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+	if p.eatKeyword("GROUP") {
+		if !p.eatKeyword("BY") {
+			return nil, fmt.Errorf("query: GROUP wants BY at %d", p.peek().pos)
+		}
+		for {
+			c := p.next()
+			if c.kind != tokIdent {
+				return nil, fmt.Errorf("query: GROUP BY wants a column at %d", c.pos)
+			}
+			stmt.GroupBy = append(stmt.GroupBy, c.text)
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if p.eatKeyword("ORDER") {
+		if !p.eatKeyword("BY") {
+			return nil, fmt.Errorf("query: ORDER wants BY at %d", p.peek().pos)
+		}
+		for {
+			c := p.next()
+			if c.kind != tokIdent {
+				return nil, fmt.Errorf("query: ORDER BY wants a column at %d", c.pos)
+			}
+			key := OrderKey{Col: c.text}
+			if p.eatKeyword("DESC") {
+				key.Desc = true
+			} else {
+				p.eatKeyword("ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, key)
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if p.eatKeyword("LIMIT") {
+		n := p.next()
+		if n.kind != tokInt {
+			return nil, fmt.Errorf("query: LIMIT wants an integer at %d", n.pos)
+		}
+		v, err := strconv.Atoi(n.text)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("query: bad LIMIT %q", n.text)
+		}
+		stmt.Limit = v
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("query: unexpected %q at %d", t.text, t.pos)
+	}
+	return stmt, nil
+}
+
+// eatKeyword consumes the next token when it is the given keyword
+// (case-insensitive identifier, or the AND keyword token for "AND").
+func (p *parser) eatKeyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseTarget() (SelectTarget, error) {
+	t := p.peek()
+	// '*' star target.
+	if t.kind == tokOp && t.text == "*" {
+		p.next()
+		return SelectTarget{Star: true}, nil
+	}
+	// Aggregate call?
+	if t.kind == tokIdent {
+		if agg, ok := aggNames[strings.ToUpper(t.text)]; ok && p.toks[p.pos+1].kind == tokLParen {
+			p.next()
+			p.next() // '('
+			tgt := SelectTarget{Agg: agg}
+			inner := p.peek()
+			if inner.kind == tokOp && inner.text == "*" {
+				if agg != AggCount {
+					return SelectTarget{}, fmt.Errorf("query: only COUNT accepts '*' at %d", inner.pos)
+				}
+				p.next()
+			} else {
+				e, err := p.parseAdd()
+				if err != nil {
+					return SelectTarget{}, err
+				}
+				tgt.Expr = e
+			}
+			if closing := p.next(); closing.kind != tokRParen {
+				return SelectTarget{}, fmt.Errorf("query: aggregate missing ')' at %d", closing.pos)
+			}
+			tgt.Alias = defaultAlias(tgt)
+			return p.maybeAlias(tgt)
+		}
+	}
+	e, err := p.parseAdd()
+	if err != nil {
+		return SelectTarget{}, err
+	}
+	tgt := SelectTarget{Expr: e, Alias: defaultAlias(SelectTarget{Expr: e})}
+	return p.maybeAlias(tgt)
+}
+
+func (p *parser) maybeAlias(tgt SelectTarget) (SelectTarget, error) {
+	if p.eatKeyword("AS") {
+		a := p.next()
+		if a.kind != tokIdent {
+			return SelectTarget{}, fmt.Errorf("query: AS wants a name at %d", a.pos)
+		}
+		tgt.Alias = a.text
+	}
+	return tgt, nil
+}
+
+func defaultAlias(tgt SelectTarget) string {
+	switch {
+	case tgt.Agg != AggNone && tgt.Expr == nil:
+		return "count"
+	case tgt.Agg != AggNone:
+		return strings.ToLower(tgt.Agg.String()) + "(" + tgt.Expr.String() + ")"
+	case tgt.Expr != nil:
+		if c, ok := tgt.Expr.(Col); ok {
+			return c.Name
+		}
+		return tgt.Expr.String()
+	}
+	return "*"
+}
+
+// Grid is a materialised SELECT result: named output columns and rows
+// of values.
+type Grid struct {
+	Cols []string
+	Rows [][]tuple.Value
+}
+
+// Execute evaluates the statement's target/group/order/limit stages
+// over the given tuples (already filtered by WHERE). The engine layer
+// owns the scan and consume semantics; Execute is pure.
+func Execute(stmt *SelectStmt, schema *tuple.Schema, tuples []tuple.Tuple) (*Grid, error) {
+	targets, err := expandTargets(stmt, schema)
+	if err != nil {
+		return nil, err
+	}
+	hasAgg := false
+	for _, t := range targets {
+		if t.Agg != AggNone {
+			hasAgg = true
+		}
+	}
+	if len(stmt.GroupBy) > 0 || hasAgg {
+		return executeGrouped(stmt, targets, schema, tuples)
+	}
+	return executePlain(stmt, targets, schema, tuples)
+}
+
+func expandTargets(stmt *SelectStmt, schema *tuple.Schema) ([]SelectTarget, error) {
+	var out []SelectTarget
+	for _, t := range stmt.Targets {
+		if !t.Star {
+			if t.Expr != nil {
+				if err := checkCols(t.Expr, schema); err != nil {
+					return nil, err
+				}
+			}
+			out = append(out, t)
+			continue
+		}
+		if stmt.GroupBy != nil {
+			return nil, fmt.Errorf("query: '*' cannot be combined with GROUP BY")
+		}
+		for _, c := range schema.Columns() {
+			out = append(out, SelectTarget{Expr: Col{Name: c.Name}, Alias: c.Name})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("query: empty target list")
+	}
+	seen := map[string]bool{}
+	for _, t := range out {
+		if seen[t.Alias] {
+			return nil, fmt.Errorf("query: duplicate output column %q (use AS)", t.Alias)
+		}
+		seen[t.Alias] = true
+	}
+	return out, nil
+}
+
+func executePlain(stmt *SelectStmt, targets []SelectTarget, schema *tuple.Schema, tuples []tuple.Tuple) (*Grid, error) {
+	g := &Grid{}
+	for _, t := range targets {
+		g.Cols = append(g.Cols, t.Alias)
+	}
+	for i := range tuples {
+		env := TupleEnv{Schema: schema, Tuple: &tuples[i]}
+		row := make([]tuple.Value, len(targets))
+		for j, t := range targets {
+			v, err := t.Expr.Eval(env)
+			if err != nil {
+				return nil, err
+			}
+			row[j] = v
+		}
+		g.Rows = append(g.Rows, row)
+	}
+	if err := orderAndLimit(g, stmt); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// aggState accumulates one aggregate cell.
+type aggState struct {
+	n   uint64
+	sum float64
+	min tuple.Value
+	max tuple.Value
+}
+
+func (a *aggState) observe(kind AggKind, v tuple.Value) error {
+	a.n++
+	switch kind {
+	case AggCount:
+		return nil
+	case AggSum, AggAvg:
+		f, ok := v.Numeric()
+		if !ok {
+			return fmt.Errorf("query: %s over non-numeric %s", kind, v.Kind())
+		}
+		a.sum += f
+		return nil
+	case AggMin:
+		if !a.min.IsValid() {
+			a.min = v
+			return nil
+		}
+		cmp, ok := v.Compare(a.min)
+		if !ok {
+			return fmt.Errorf("query: MIN over incomparable kinds")
+		}
+		if cmp < 0 {
+			a.min = v
+		}
+		return nil
+	case AggMax:
+		if !a.max.IsValid() {
+			a.max = v
+			return nil
+		}
+		cmp, ok := v.Compare(a.max)
+		if !ok {
+			return fmt.Errorf("query: MAX over incomparable kinds")
+		}
+		if cmp > 0 {
+			a.max = v
+		}
+		return nil
+	}
+	return fmt.Errorf("query: bad aggregate")
+}
+
+func (a *aggState) result(kind AggKind) tuple.Value {
+	switch kind {
+	case AggCount:
+		return tuple.Int(int64(a.n))
+	case AggSum:
+		return tuple.Float(a.sum)
+	case AggAvg:
+		if a.n == 0 {
+			return tuple.Float(0)
+		}
+		return tuple.Float(a.sum / float64(a.n))
+	case AggMin:
+		return a.min
+	case AggMax:
+		return a.max
+	}
+	return tuple.Value{}
+}
+
+func executeGrouped(stmt *SelectStmt, targets []SelectTarget, schema *tuple.Schema, tuples []tuple.Tuple) (*Grid, error) {
+	// Plain targets must be GROUP BY columns.
+	groupSet := map[string]bool{}
+	for _, c := range stmt.GroupBy {
+		if c != tuple.SysTick && c != tuple.SysFresh && c != tuple.SysID && schema.Index(c) < 0 {
+			return nil, fmt.Errorf("query: unknown GROUP BY column %q", c)
+		}
+		groupSet[c] = true
+	}
+	for _, t := range targets {
+		if t.Agg != AggNone {
+			continue
+		}
+		c, ok := t.Expr.(Col)
+		if !ok || !groupSet[c.Name] {
+			return nil, fmt.Errorf("query: non-aggregate target %q must be a GROUP BY column", t.Alias)
+		}
+	}
+
+	type group struct {
+		key  []tuple.Value
+		aggs []*aggState
+	}
+	groups := map[string]*group{}
+	var order []string // first-seen order for determinism pre-sort
+
+	for i := range tuples {
+		env := TupleEnv{Schema: schema, Tuple: &tuples[i]}
+		keyVals := make([]tuple.Value, len(stmt.GroupBy))
+		var kb strings.Builder
+		for j, c := range stmt.GroupBy {
+			v, err := env.Lookup(c)
+			if err != nil {
+				return nil, err
+			}
+			keyVals[j] = v
+			kb.WriteString(v.String())
+			kb.WriteByte('\x00')
+		}
+		k := kb.String()
+		grp, ok := groups[k]
+		if !ok {
+			grp = &group{key: keyVals, aggs: make([]*aggState, len(targets))}
+			for j := range grp.aggs {
+				grp.aggs[j] = &aggState{}
+			}
+			groups[k] = grp
+			order = append(order, k)
+		}
+		for j, t := range targets {
+			if t.Agg == AggNone {
+				continue
+			}
+			var v tuple.Value
+			if t.Expr != nil {
+				var err error
+				if v, err = t.Expr.Eval(env); err != nil {
+					return nil, err
+				}
+			}
+			if err := grp.aggs[j].observe(t.Agg, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	g := &Grid{}
+	for _, t := range targets {
+		g.Cols = append(g.Cols, t.Alias)
+	}
+	// Whole-extent aggregate with no groups still yields one row.
+	if len(stmt.GroupBy) == 0 {
+		agg := &group{aggs: make([]*aggState, len(targets))}
+		for j := range agg.aggs {
+			agg.aggs[j] = &aggState{}
+		}
+		if len(order) == 1 {
+			agg = groups[order[0]]
+		}
+		row := make([]tuple.Value, len(targets))
+		for j, t := range targets {
+			row[j] = agg.aggs[j].result(t.Agg)
+		}
+		g.Rows = append(g.Rows, row)
+	} else {
+		for _, k := range order {
+			grp := groups[k]
+			row := make([]tuple.Value, len(targets))
+			for j, t := range targets {
+				if t.Agg == AggNone {
+					c := t.Expr.(Col)
+					for gi, gc := range stmt.GroupBy {
+						if gc == c.Name {
+							row[j] = grp.key[gi]
+						}
+					}
+					continue
+				}
+				row[j] = grp.aggs[j].result(t.Agg)
+			}
+			g.Rows = append(g.Rows, row)
+		}
+		// Deterministic default order: by group key.
+		if len(stmt.OrderBy) == 0 {
+			keyIdx := []int{}
+			for j, t := range targets {
+				if t.Agg == AggNone {
+					keyIdx = append(keyIdx, j)
+				}
+			}
+			sort.SliceStable(g.Rows, func(a, b int) bool {
+				for _, j := range keyIdx {
+					if cmp, ok := g.Rows[a][j].Compare(g.Rows[b][j]); ok && cmp != 0 {
+						return cmp < 0
+					}
+				}
+				return false
+			})
+		}
+	}
+	if err := orderAndLimit(g, stmt); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func orderAndLimit(g *Grid, stmt *SelectStmt) error {
+	if len(stmt.OrderBy) > 0 {
+		idx := make([]int, len(stmt.OrderBy))
+		for i, key := range stmt.OrderBy {
+			idx[i] = -1
+			for j, c := range g.Cols {
+				if c == key.Col {
+					idx[i] = j
+				}
+			}
+			if idx[i] < 0 {
+				return fmt.Errorf("query: ORDER BY %q is not an output column (%v)", key.Col, g.Cols)
+			}
+		}
+		var sortErr error
+		sort.SliceStable(g.Rows, func(a, b int) bool {
+			for i, key := range stmt.OrderBy {
+				cmp, ok := g.Rows[a][idx[i]].Compare(g.Rows[b][idx[i]])
+				if !ok {
+					sortErr = fmt.Errorf("query: ORDER BY %q over incomparable kinds", key.Col)
+					return false
+				}
+				if cmp == 0 {
+					continue
+				}
+				if key.Desc {
+					return cmp > 0
+				}
+				return cmp < 0
+			}
+			return false
+		})
+		if sortErr != nil {
+			return sortErr
+		}
+	}
+	if stmt.Limit > 0 && len(g.Rows) > stmt.Limit {
+		g.Rows = g.Rows[:stmt.Limit]
+	}
+	return nil
+}
+
+// Render writes the grid as an aligned text table.
+func (g *Grid) Render(w io.Writer) {
+	widths := make([]int, len(g.Cols))
+	cells := make([][]string, 0, len(g.Rows))
+	for i, c := range g.Cols {
+		widths[i] = len(c)
+	}
+	for _, row := range g.Rows {
+		line := make([]string, len(row))
+		for i, v := range row {
+			s := v.String()
+			if v.Kind() == tuple.KindString {
+				s = v.AsString() // unquoted for display
+			}
+			line[i] = s
+			if len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+		cells = append(cells, line)
+	}
+	writeLine := func(line []string) {
+		var b strings.Builder
+		for i, s := range line {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(s)
+			if pad := widths[i] - len(s); pad > 0 && i < len(line)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		fmt.Fprintln(w, b.String())
+	}
+	writeLine(g.Cols)
+	for _, line := range cells {
+		writeLine(line)
+	}
+}

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"fungusdb/internal/catalog"
+)
+
+// Client is the Go client for a fungusd server.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient targets base (e.g. "http://localhost:8044"). A nil
+// httpClient uses http.DefaultClient.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: base, hc: httpClient}
+}
+
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: marshal: %w", err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("client: request: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("client: read: %w", err)
+	}
+	if resp.StatusCode >= 400 {
+		var eb errorBody
+		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+			return fmt.Errorf("server: %s", eb.Error)
+		}
+		return fmt.Errorf("server: status %d: %s", resp.StatusCode, trim(string(data)))
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("client: decode: %w", err)
+		}
+	}
+	return nil
+}
+
+// Health checks liveness and returns the server's logical time.
+func (c *Client) Health() (now uint64, err error) {
+	var resp struct {
+		OK  bool   `json:"ok"`
+		Now uint64 `json:"now"`
+	}
+	if err := c.do(http.MethodGet, "/healthz", nil, &resp); err != nil {
+		return 0, err
+	}
+	if !resp.OK {
+		return 0, fmt.Errorf("server not ok")
+	}
+	return resp.Now, nil
+}
+
+// Tables lists table names.
+func (c *Client) Tables() ([]string, error) {
+	var resp struct {
+		Tables []string `json:"tables"`
+	}
+	if err := c.do(http.MethodGet, "/v1/tables", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Tables, nil
+}
+
+// CreateTable creates a table from a spec.
+func (c *Client) CreateTable(spec catalog.TableSpec, persist bool) error {
+	return c.do(http.MethodPost, "/v1/tables", CreateTableRequest{TableSpec: spec, Persist: persist}, nil)
+}
+
+// DropTable removes a table.
+func (c *Client) DropTable(name string) error {
+	return c.do(http.MethodDelete, "/v1/tables/"+name, nil, nil)
+}
+
+// Insert bulk-inserts positional rows.
+func (c *Client) Insert(table string, rows [][]any) (InsertResponse, error) {
+	var resp InsertResponse
+	err := c.do(http.MethodPost, "/v1/tables/"+table+"/rows", InsertRequest{Rows: rows}, &resp)
+	return resp, err
+}
+
+// Query runs a SELECT (optionally SELECT CONSUME) statement.
+func (c *Client) Query(sql string) (QueryResponse, error) {
+	var resp QueryResponse
+	err := c.do(http.MethodPost, "/v1/query", QueryRequest{SQL: sql}, &resp)
+	return resp, err
+}
+
+// QueryDistill runs a consuming query whose matched set is distilled
+// into the named container.
+func (c *Client) QueryDistill(sql, container string) (QueryResponse, error) {
+	var resp QueryResponse
+	err := c.do(http.MethodPost, "/v1/query", QueryRequest{SQL: sql, Distill: container}, &resp)
+	return resp, err
+}
+
+// Tick advances decay by n cycles.
+func (c *Client) Tick(n int) (TickResponse, error) {
+	var resp TickResponse
+	err := c.do(http.MethodPost, "/v1/tick", TickRequest{N: n}, &resp)
+	return resp, err
+}
+
+// Stats fetches a table's freshness profile and counters.
+func (c *Client) Stats(table string) (StatsResponse, error) {
+	var resp StatsResponse
+	err := c.do(http.MethodGet, "/v1/tables/"+table+"/stats", nil, &resp)
+	return resp, err
+}
+
+// Ask poses a question to a knowledge container. Question forms:
+// "count", "ndv:col", "mean:col", "sum:col", "q:col:0.95", "top:col",
+// "has:col:value".
+func (c *Client) Ask(table, container, question string) (AskResponse, error) {
+	var resp AskResponse
+	err := c.do(http.MethodGet,
+		"/v1/tables/"+table+"/containers/"+container+"/ask?q="+url.QueryEscape(question), nil, &resp)
+	return resp, err
+}
+
+// Containers lists a table's knowledge containers.
+func (c *Client) Containers(table string) ([]ContainerInfo, error) {
+	var resp struct {
+		Containers []ContainerInfo `json:"containers"`
+	}
+	if err := c.do(http.MethodGet, "/v1/tables/"+table+"/containers", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Containers, nil
+}

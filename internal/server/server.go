@@ -1,0 +1,535 @@
+// Package server exposes a FungusDB over HTTP with a JSON API, plus the
+// matching Go client. The API surface mirrors the embedded one:
+//
+//	GET    /healthz                          liveness
+//	GET    /v1/tables                        table names
+//	POST   /v1/tables                        create table (catalog.TableSpec JSON; non-persistent unless the DB has a Dir)
+//	DELETE /v1/tables/{table}                drop table
+//	POST   /v1/tables/{table}/rows           bulk insert
+//	GET    /v1/tables/{table}/stats          profile + counters
+//	GET    /v1/tables/{table}/containers     shelf listing
+//	GET    /v1/tables/{table}/containers/{container}/ask?q=...   digest questions
+//	POST   /v1/query                         SELECT (incl. CONSUME) -> grid
+//	POST   /v1/tick                          advance decay n cycles
+//
+// Rows and grid cells travel as natural JSON values (numbers, strings,
+// booleans) positionally matched to the table schema.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"fungusdb/internal/catalog"
+	"fungusdb/internal/core"
+	"fungusdb/internal/query"
+	"fungusdb/internal/sketch"
+	"fungusdb/internal/tuple"
+)
+
+// Server is the HTTP front end of one DB.
+type Server struct {
+	db  *core.DB
+	mux *http.ServeMux
+}
+
+// New wraps db. The returned Server is an http.Handler.
+func New(db *core.DB) *Server {
+	s := &Server{db: db, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.health)
+	s.mux.HandleFunc("GET /v1/tables", s.listTables)
+	s.mux.HandleFunc("POST /v1/tables", s.createTable)
+	s.mux.HandleFunc("DELETE /v1/tables/{table}", s.dropTable)
+	s.mux.HandleFunc("POST /v1/tables/{table}/rows", s.insertRows)
+	s.mux.HandleFunc("GET /v1/tables/{table}/stats", s.tableStats)
+	s.mux.HandleFunc("GET /v1/tables/{table}/containers", s.listContainers)
+	s.mux.HandleFunc("GET /v1/tables/{table}/containers/{container}/ask", s.askContainer)
+	s.mux.HandleFunc("POST /v1/query", s.runQuery)
+	s.mux.HandleFunc("POST /v1/tick", s.tick)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) health(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "now": uint64(s.db.Now())})
+}
+
+func (s *Server) listTables(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"tables": s.db.Tables()})
+}
+
+// CreateTableRequest is the POST /v1/tables body: a catalog spec plus a
+// persistence toggle (persistent specs need the server DB to have a
+// data directory).
+type CreateTableRequest struct {
+	catalog.TableSpec
+	Persist bool `json:"persist,omitempty"`
+}
+
+func (s *Server) createTable(w http.ResponseWriter, r *http.Request) {
+	var req CreateTableRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	var err error
+	if req.Persist {
+		_, err = s.db.CreateTableFromSpec(req.TableSpec)
+	} else {
+		err = s.createEphemeral(req.TableSpec)
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"created": req.Name})
+}
+
+func (s *Server) createEphemeral(spec catalog.TableSpec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	schema, err := tuple.ParseSchema(spec.Schema)
+	if err != nil {
+		return err
+	}
+	f, err := spec.Fungus.Build(schema)
+	if err != nil {
+		return err
+	}
+	_, err = s.db.CreateTable(spec.Name, core.TableConfig{
+		Schema:            schema,
+		Fungus:            f,
+		SegmentSize:       spec.SegmentSize,
+		TickEvery:         spec.TickEvery,
+		TouchOnRead:       spec.TouchOnRead,
+		DistillOnRot:      spec.DistillOnRot,
+		ContainerHalfLife: spec.ContainerHalfLife,
+	})
+	return err
+}
+
+func (s *Server) table(w http.ResponseWriter, r *http.Request) (*core.Table, bool) {
+	name := r.PathValue("table")
+	tbl, err := s.db.Table(name)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return nil, false
+	}
+	return tbl, true
+}
+
+func (s *Server) dropTable(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("table")
+	if err := s.db.DropTable(name); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"dropped": name})
+}
+
+// InsertRequest is the bulk-insert body: rows of positional values.
+type InsertRequest struct {
+	Rows [][]any `json:"rows"`
+}
+
+// InsertResponse reports assigned tuple IDs.
+type InsertResponse struct {
+	Inserted int      `json:"inserted"`
+	FirstID  uint64   `json:"first_id"`
+	Errors   []string `json:"errors,omitempty"`
+}
+
+func (s *Server) insertRows(w http.ResponseWriter, r *http.Request) {
+	tbl, ok := s.table(w, r)
+	if !ok {
+		return
+	}
+	var req InsertRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if len(req.Rows) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("no rows"))
+		return
+	}
+	resp := InsertResponse{}
+	first := true
+	for i, raw := range req.Rows {
+		vals, err := decodeRow(tbl.Schema(), raw)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("row %d: %w", i, err))
+			return
+		}
+		tp, err := tbl.Insert(vals)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("row %d: %w", i, err))
+			return
+		}
+		if first {
+			resp.FirstID = uint64(tp.ID)
+			first = false
+		}
+		resp.Inserted++
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// decodeRow converts JSON values to typed attributes positionally.
+func decodeRow(schema *tuple.Schema, raw []any) ([]tuple.Value, error) {
+	if len(raw) != schema.Len() {
+		return nil, fmt.Errorf("have %d values, schema wants %d", len(raw), schema.Len())
+	}
+	vals := make([]tuple.Value, len(raw))
+	for i, v := range raw {
+		col := schema.Column(i)
+		switch col.Kind {
+		case tuple.KindInt:
+			f, ok := v.(float64) // JSON numbers arrive as float64
+			if !ok || f != float64(int64(f)) {
+				return nil, fmt.Errorf("column %q wants INT, got %v", col.Name, v)
+			}
+			vals[i] = tuple.Int(int64(f))
+		case tuple.KindFloat:
+			f, ok := v.(float64)
+			if !ok {
+				return nil, fmt.Errorf("column %q wants FLOAT, got %v", col.Name, v)
+			}
+			vals[i] = tuple.Float(f)
+		case tuple.KindString:
+			str, ok := v.(string)
+			if !ok {
+				return nil, fmt.Errorf("column %q wants STRING, got %v", col.Name, v)
+			}
+			vals[i] = tuple.String_(str)
+		case tuple.KindBool:
+			b, ok := v.(bool)
+			if !ok {
+				return nil, fmt.Errorf("column %q wants BOOL, got %v", col.Name, v)
+			}
+			vals[i] = tuple.Bool(b)
+		}
+	}
+	return vals, nil
+}
+
+// StatsResponse is the GET stats body.
+type StatsResponse struct {
+	Live        int     `json:"live"`
+	Bytes       int     `json:"bytes"`
+	MeanFresh   float64 `json:"mean_freshness"`
+	Infected    int     `json:"infected"`
+	Inserted    uint64  `json:"inserted"`
+	Rotted      uint64  `json:"rotted"`
+	Consumed    uint64  `json:"consumed"`
+	Distilled   uint64  `json:"distilled"`
+	Queries     uint64  `json:"queries"`
+	Ticks       uint64  `json:"ticks"`
+	CaptureRate float64 `json:"capture_rate"`
+}
+
+func (s *Server) tableStats(w http.ResponseWriter, r *http.Request) {
+	tbl, ok := s.table(w, r)
+	if !ok {
+		return
+	}
+	p := tbl.Profile()
+	c := tbl.Counters()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Live: p.Live, Bytes: p.Bytes, MeanFresh: p.Mean, Infected: p.Infected,
+		Inserted: c.Inserted, Rotted: c.Rotted, Consumed: c.Consumed,
+		Distilled: c.DistilledRot + c.DistilledQuery,
+		Queries:   c.Queries, Ticks: c.Ticks, CaptureRate: c.CaptureRate(),
+	})
+}
+
+// ContainerInfo summarises one knowledge container.
+type ContainerInfo struct {
+	Name      string  `json:"name"`
+	Count     uint64  `json:"count"`
+	Bytes     int     `json:"bytes"`
+	Freshness float64 `json:"freshness"`
+}
+
+func (s *Server) listContainers(w http.ResponseWriter, r *http.Request) {
+	tbl, ok := s.table(w, r)
+	if !ok {
+		return
+	}
+	var out []ContainerInfo
+	for _, name := range tbl.Shelf().Names() {
+		c := tbl.Shelf().Get(name)
+		if c == nil {
+			continue
+		}
+		out = append(out, ContainerInfo{
+			Name:      name,
+			Count:     c.Digest.Count(),
+			Bytes:     c.Digest.Bytes(),
+			Freshness: float64(c.Freshness()),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"containers": out})
+}
+
+// AskResponse answers one knowledge-container question.
+type AskResponse struct {
+	Question string  `json:"question"`
+	Value    float64 `json:"value,omitempty"`
+	Bool     *bool   `json:"bool,omitempty"`
+	Top      []struct {
+		Item  string `json:"item"`
+		Count uint64 `json:"count"`
+	} `json:"top,omitempty"`
+}
+
+// askContainer answers digest questions over HTTP:
+//
+//	GET .../containers/{c}/ask?q=count
+//	GET .../containers/{c}/ask?q=ndv:col | mean:col | sum:col
+//	GET .../containers/{c}/ask?q=q:col:0.95
+//	GET .../containers/{c}/ask?q=top:col
+//	GET .../containers/{c}/ask?q=has:col:value
+//
+// Asking refreshes the container (consulted knowledge stays alive).
+func (s *Server) askContainer(w http.ResponseWriter, r *http.Request) {
+	tbl, ok := s.table(w, r)
+	if !ok {
+		return
+	}
+	c := tbl.Shelf().Get(r.PathValue("container"))
+	if c == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no container %q", r.PathValue("container")))
+		return
+	}
+	c.Touch()
+	d := c.Digest
+	q := r.URL.Query().Get("q")
+	parts := strings.Split(q, ":")
+	resp := AskResponse{Question: q}
+	var err error
+	switch parts[0] {
+	case "count":
+		resp.Value = float64(d.Count())
+	case "ndv":
+		if len(parts) != 2 {
+			err = errors.New("ndv wants ndv:<col>")
+			break
+		}
+		var v uint64
+		if v, err = d.NDV(parts[1]); err == nil {
+			resp.Value = float64(v)
+		}
+	case "mean":
+		if len(parts) != 2 {
+			err = errors.New("mean wants mean:<col>")
+			break
+		}
+		resp.Value, err = d.Mean(parts[1])
+	case "sum":
+		if len(parts) != 2 {
+			err = errors.New("sum wants sum:<col>")
+			break
+		}
+		resp.Value, err = d.Sum(parts[1])
+	case "q":
+		if len(parts) != 3 {
+			err = errors.New("quantile wants q:<col>:<0..1>")
+			break
+		}
+		var qv float64
+		if _, serr := fmt.Sscanf(parts[2], "%g", &qv); serr != nil {
+			err = fmt.Errorf("bad quantile %q", parts[2])
+			break
+		}
+		resp.Value, err = d.Quantile(parts[1], qv)
+	case "top":
+		if len(parts) != 2 {
+			err = errors.New("top wants top:<col>")
+			break
+		}
+		var entries []sketch.Entry
+		if entries, err = d.HeavyHitters(parts[1], 10); err == nil {
+			for _, e := range entries {
+				resp.Top = append(resp.Top, struct {
+					Item  string `json:"item"`
+					Count uint64 `json:"count"`
+				}{e.Item, e.Count})
+			}
+		}
+	case "has":
+		if len(parts) != 3 {
+			err = errors.New("has wants has:<col>:<value>")
+			break
+		}
+		var b bool
+		if b, err = d.MayContain(parts[1], guessValue(tbl, parts[1], parts[2])); err == nil {
+			resp.Bool = &b
+		}
+	default:
+		err = fmt.Errorf("unknown question %q", q)
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// guessValue parses raw according to the column's schema kind, falling
+// back to a string value for unknown columns (the digest will reject
+// them with a proper error).
+func guessValue(tbl *core.Table, col, raw string) tuple.Value {
+	i := tbl.Schema().Index(col)
+	if i < 0 {
+		return tuple.String_(raw)
+	}
+	switch tbl.Schema().Column(i).Kind {
+	case tuple.KindInt:
+		var n int64
+		if _, err := fmt.Sscanf(raw, "%d", &n); err == nil {
+			return tuple.Int(n)
+		}
+	case tuple.KindFloat:
+		var f float64
+		if _, err := fmt.Sscanf(raw, "%g", &f); err == nil {
+			return tuple.Float(f)
+		}
+	case tuple.KindBool:
+		return tuple.Bool(raw == "true")
+	}
+	return tuple.String_(raw)
+}
+
+// QueryRequest is the POST /v1/query body. SQL must be a SELECT
+// statement (use SELECT CONSUME for second-law semantics); Distill
+// optionally names a container absorbing the matched set.
+type QueryRequest struct {
+	SQL     string `json:"sql"`
+	Distill string `json:"distill,omitempty"`
+}
+
+// QueryResponse is a grid in JSON.
+type QueryResponse struct {
+	Cols []string `json:"cols"`
+	Rows [][]any  `json:"rows"`
+}
+
+func (s *Server) runQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	stmt, err := query.ParseSelect(req.SQL)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	tbl, err := s.db.Table(stmt.From)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	var opts []core.QueryOpts
+	if req.Distill != "" {
+		opts = append(opts, core.QueryOpts{Distill: req.Distill})
+	}
+	g, err := tbl.SQL(req.SQL, opts...)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := QueryResponse{Cols: g.Cols, Rows: make([][]any, len(g.Rows))}
+	for i, row := range g.Rows {
+		out := make([]any, len(row))
+		for j, v := range row {
+			out[j] = valueToJSON(v)
+		}
+		resp.Rows[i] = out
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func valueToJSON(v tuple.Value) any {
+	switch v.Kind() {
+	case tuple.KindInt:
+		return v.AsInt()
+	case tuple.KindFloat:
+		return v.AsFloat()
+	case tuple.KindString:
+		return v.AsString()
+	case tuple.KindBool:
+		return v.AsBool()
+	}
+	return nil
+}
+
+// TickRequest advances decay.
+type TickRequest struct {
+	N int `json:"n"`
+}
+
+// TickResponse reports the aggregate decay outcome.
+type TickResponse struct {
+	Now    uint64 `json:"now"`
+	Rotted int    `json:"rotted"`
+	Live   int    `json:"live"`
+}
+
+func (s *Server) tick(w http.ResponseWriter, r *http.Request) {
+	var req TickRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.N < 1 {
+		req.N = 1
+	}
+	if req.N > 1_000_000 {
+		writeErr(w, http.StatusBadRequest, errors.New("n too large"))
+		return
+	}
+	resp := TickResponse{}
+	for i := 0; i < req.N; i++ {
+		rep, err := s.db.Tick()
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp.Rotted += rep.TotalRot
+		resp.Now = uint64(rep.Now)
+		resp.Live = rep.TotalLive
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// trim is a tiny helper used by the client for error text.
+func trim(s string) string { return strings.TrimSpace(s) }

@@ -1,0 +1,286 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"fungusdb/internal/catalog"
+	"fungusdb/internal/core"
+)
+
+func newServer(t *testing.T) (*Client, *core.DB) {
+	t.Helper()
+	db, err := core.Open(core.DBConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	ts := httptest.NewServer(New(db))
+	t.Cleanup(ts.Close)
+	return NewClient(ts.URL, ts.Client()), db
+}
+
+func spec() catalog.TableSpec {
+	return catalog.TableSpec{
+		Name:   "logs",
+		Schema: "host STRING, sev INT, latency FLOAT, ok BOOL",
+		Fungus: &catalog.FungusSpec{Kind: "linear", Rate: 0.25},
+	}
+}
+
+func seed(t *testing.T, c *Client) {
+	t.Helper()
+	if err := c.CreateTable(spec(), false); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Insert("logs", [][]any{
+		{"web-1", 2, 9.5, true},
+		{"web-2", 7, 1.25, false},
+		{"web-1", 5, 3.0, true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Inserted != 3 || resp.FirstID != 0 {
+		t.Fatalf("insert resp = %+v", resp)
+	}
+}
+
+func TestHealthAndTables(t *testing.T) {
+	c, _ := newServer(t)
+	now, err := c.Health()
+	if err != nil || now != 0 {
+		t.Fatalf("health = %d, %v", now, err)
+	}
+	seed(t, c)
+	tables, err := c.Tables()
+	if err != nil || len(tables) != 1 || tables[0] != "logs" {
+		t.Fatalf("tables = %v, %v", tables, err)
+	}
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	c, _ := newServer(t)
+	seed(t, c)
+	g, err := c.Query("SELECT host, sev, latency, ok FROM logs WHERE sev <= 5 ORDER BY sev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Rows) != 2 {
+		t.Fatalf("rows = %v", g.Rows)
+	}
+	r0 := g.Rows[0]
+	if r0[0] != "web-1" || r0[1] != float64(2) || r0[2] != 9.5 || r0[3] != true {
+		t.Errorf("row 0 = %v", r0)
+	}
+}
+
+func TestQueryGroupBy(t *testing.T) {
+	c, _ := newServer(t)
+	seed(t, c)
+	g, err := c.Query("SELECT host, COUNT(*) AS n FROM logs GROUP BY host ORDER BY n DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Rows) != 2 || g.Rows[0][0] != "web-1" || g.Rows[0][1] != float64(2) {
+		t.Errorf("grid = %+v", g)
+	}
+}
+
+func TestConsumeAndContainersOverHTTP(t *testing.T) {
+	c, _ := newServer(t)
+	seed(t, c)
+	g, err := c.QueryDistill("SELECT CONSUME * FROM logs WHERE sev <= 5", "serious")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Rows) != 2 {
+		t.Fatalf("consumed rows = %d", len(g.Rows))
+	}
+	st, err := c.Stats("logs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Live != 1 || st.Consumed != 2 || st.Distilled != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	cs, err := c.Containers("logs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 1 || cs[0].Name != "serious" || cs[0].Count != 2 {
+		t.Errorf("containers = %+v", cs)
+	}
+}
+
+func TestAskContainerOverHTTP(t *testing.T) {
+	c, _ := newServer(t)
+	seed(t, c)
+	if _, err := c.QueryDistill("SELECT CONSUME * FROM logs", "all"); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		q    string
+		want float64
+	}{
+		{"count", 3},
+		{"sum:sev", 14},
+		{"ndv:host", 2},
+	}
+	for _, tc := range cases {
+		resp, err := c.Ask("logs", "all", tc.q)
+		if err != nil {
+			t.Fatalf("Ask(%q): %v", tc.q, err)
+		}
+		if resp.Value != tc.want {
+			t.Errorf("Ask(%q) = %v, want %v", tc.q, resp.Value, tc.want)
+		}
+	}
+	resp, err := c.Ask("logs", "all", "q:latency:0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Value < 1 || resp.Value > 10 {
+		t.Errorf("median latency = %v", resp.Value)
+	}
+	resp, err = c.Ask("logs", "all", "top:host")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Top) != 2 || resp.Top[0].Item != "web-1" {
+		t.Errorf("top = %+v", resp.Top)
+	}
+	resp, err = c.Ask("logs", "all", "has:host:web-1")
+	if err != nil || resp.Bool == nil || !*resp.Bool {
+		t.Errorf("has:host:web-1 = %+v, %v", resp, err)
+	}
+	resp, err = c.Ask("logs", "all", "has:sev:99")
+	if err != nil || resp.Bool == nil || *resp.Bool {
+		t.Errorf("has:sev:99 = %+v, %v", resp, err)
+	}
+	// Errors.
+	for _, q := range []string{"nonsense", "ndv", "mean:host", "q:latency:x", "has:sev"} {
+		if _, err := c.Ask("logs", "all", q); err == nil {
+			t.Errorf("Ask(%q) accepted", q)
+		}
+	}
+	if _, err := c.Ask("logs", "nosuch", "count"); err == nil {
+		t.Error("missing container accepted")
+	}
+}
+
+func TestTickDecaysOverHTTP(t *testing.T) {
+	c, _ := newServer(t)
+	seed(t, c)
+	// Linear rate 0.25: everything rots on the 4th tick.
+	resp, err := c.Tick(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Rotted != 3 || resp.Live != 0 || resp.Now != 4 {
+		t.Errorf("tick resp = %+v", resp)
+	}
+	st, _ := c.Stats("logs")
+	if st.Live != 0 || st.Rotted != 3 {
+		t.Errorf("stats after rot = %+v", st)
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	c, _ := newServer(t)
+	seed(t, c)
+	if err := c.DropTable("logs"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropTable("logs"); err == nil {
+		t.Error("double drop succeeded")
+	}
+	tables, _ := c.Tables()
+	if len(tables) != 0 {
+		t.Errorf("tables = %v", tables)
+	}
+}
+
+func TestErrorsSurfaceAsJSON(t *testing.T) {
+	c, _ := newServer(t)
+	seed(t, c)
+	cases := []func() error{
+		func() error { return c.CreateTable(spec(), false) }, // duplicate
+		func() error { return c.CreateTable(catalog.TableSpec{Name: "x", Schema: "bad"}, false) },
+		func() error { return c.CreateTable(spec(), true) }, // persist without Dir
+		func() error { _, err := c.Insert("nosuch", [][]any{{1}}); return err },
+		func() error { _, err := c.Insert("logs", [][]any{{"only-one"}}); return err },
+		func() error { _, err := c.Insert("logs", [][]any{{1, 2, 3, 4}}); return err }, // wrong kinds
+		func() error { _, err := c.Insert("logs", nil); return err },
+		func() error { _, err := c.Query("SELECT nosuch FROM logs"); return err },
+		func() error { _, err := c.Query("SELECT * FROM nosuch"); return err },
+		func() error { _, err := c.Query("not sql"); return err },
+		func() error { _, err := c.Tick(2_000_000); return err },
+	}
+	for i, fn := range cases {
+		if err := fn(); err == nil {
+			t.Errorf("case %d succeeded", i)
+		} else if !strings.Contains(err.Error(), "server:") {
+			t.Errorf("case %d error not from server envelope: %v", i, err)
+		}
+	}
+}
+
+func TestIntColumnRejectsFractional(t *testing.T) {
+	c, _ := newServer(t)
+	seed(t, c)
+	if _, err := c.Insert("logs", [][]any{{"h", 2.5, 1.0, true}}); err == nil {
+		t.Error("fractional INT accepted")
+	}
+}
+
+func TestPersistentSpecOverHTTP(t *testing.T) {
+	dir := t.TempDir()
+	db, err := core.Open(core.DBConfig{Seed: 5, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(db))
+	c := NewClient(ts.URL, ts.Client())
+	if err := c.CreateTable(spec(), true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Insert("logs", [][]any{{"web-1", 1, 1.0, true}}); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+	db.Close()
+
+	// Restart the whole stack on the same dir.
+	db2, err := core.Open(core.DBConfig{Seed: 5, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	ts2 := httptest.NewServer(New(db2))
+	defer ts2.Close()
+	c2 := NewClient(ts2.URL, ts2.Client())
+	g, err := c2.Query("SELECT COUNT(*) FROM logs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Rows[0][0] != float64(1) {
+		t.Errorf("count after restart = %v", g.Rows[0][0])
+	}
+}
+
+func TestUnknownRoute(t *testing.T) {
+	_, db := newServer(t)
+	ts := httptest.NewServer(New(db))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}

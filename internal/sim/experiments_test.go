@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// testCfg runs every experiment at a small, fast scale.
+func testCfg() Config { return Config{Scale: 0.05, Seed: 7} }
+
+func atoi(t *testing.T, s string) int {
+	t.Helper()
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		t.Fatalf("cell %q is not an int: %v", s, err)
+	}
+	return n
+}
+
+func atof(t *testing.T, s string) float64 {
+	t.Helper()
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q is not a float: %v", s, err)
+	}
+	return f
+}
+
+func TestAllExperimentsRunAndRender(t *testing.T) {
+	for _, id := range ExperimentIDs {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			fn, ok := Runner[id]
+			if !ok {
+				t.Fatalf("no runner for %s", id)
+			}
+			tbl := fn(testCfg())
+			if tbl.ID != id {
+				t.Errorf("table ID = %q", tbl.ID)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			for i, row := range tbl.Rows {
+				if len(row) != len(tbl.Header) {
+					t.Errorf("row %d has %d cells, header has %d", i, len(row), len(tbl.Header))
+				}
+			}
+			out := tbl.String()
+			if !strings.Contains(out, tbl.Title) || !strings.Contains(out, tbl.Header[0]) {
+				t.Errorf("render missing pieces:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestE1NoneGrowsFungiBound(t *testing.T) {
+	tbl := E1ChessBoard(testCfg())
+	last := tbl.Rows[len(tbl.Rows)-1]
+	mid := tbl.Rows[len(tbl.Rows)/2]
+	// Column layout: epoch, inserted, none, ttl, exponential, egi.
+	noneLast, noneMid := atoi(t, last[2]), atoi(t, mid[2])
+	// 'none' hoards everything: extent == inserted, still growing.
+	if noneLast != atoi(t, last[1]) {
+		t.Errorf("'none' extent %d != inserted %d", noneLast, atoi(t, last[1]))
+	}
+	if noneLast <= noneMid {
+		t.Errorf("'none' stopped growing: mid=%d last=%d", noneMid, noneLast)
+	}
+	for col := 3; col <= 5; col++ {
+		fLast, fMid := atoi(t, last[col]), atoi(t, mid[col])
+		if fLast >= noneLast/3 {
+			t.Errorf("%s arm (%d) not clearly bounded vs none (%d)", tbl.Header[col], fLast, noneLast)
+		}
+		// Plateau: the decayed extent stays within 2x of its midpoint.
+		if fMid > 0 && (fLast > 2*fMid) {
+			t.Errorf("%s arm still growing: mid=%d last=%d", tbl.Header[col], fMid, fLast)
+		}
+	}
+}
+
+func TestE2SpotGrowsFromCentre(t *testing.T) {
+	tbl := E2RotSpots(testCfg())
+	first, last := tbl.Rows[0], tbl.Rows[len(tbl.Rows)-1]
+	nb := len(tbl.Header) - 1
+	centre := 1 + nb/2
+	// At tick 0 everything is fresh.
+	for c := 1; c < len(first); c++ {
+		if atof(t, first[c]) != 1 {
+			t.Errorf("tick-0 bucket %d = %s, want 1", c, first[c])
+		}
+	}
+	// At the end the centre dipped below the edges.
+	centreF := atof(t, last[centre])
+	edgeF := (atof(t, last[1]) + atof(t, last[len(last)-1])) / 2
+	if centreF >= edgeF {
+		t.Errorf("centre %v not below edges %v", centreF, edgeF)
+	}
+}
+
+func TestE3EGIDegradesTTLCliffs(t *testing.T) {
+	tbl := E3BlueCheese(testCfg())
+	// ttl_coverage (col 2) is 1.0 early and 0 at the end; egi (col 1)
+	// passes through intermediate values.
+	first, last := tbl.Rows[0], tbl.Rows[len(tbl.Rows)-1]
+	if atof(t, first[2]) != 1 {
+		t.Errorf("ttl coverage at tick 0 = %s", first[2])
+	}
+	if atof(t, last[2]) != 0 {
+		t.Errorf("ttl coverage at end = %s, want 0 (cliff)", last[2])
+	}
+	sawPartial := false
+	for _, row := range tbl.Rows {
+		c := atof(t, row[1])
+		if c > 0.1 && c < 0.9 {
+			sawPartial = true
+		}
+	}
+	if !sawPartial {
+		t.Error("egi coverage never passed through partial values (no graceful decay)")
+	}
+}
+
+func TestE4ConsumeShrinksPeekRepeats(t *testing.T) {
+	tbl := E4Consume(testCfg())
+	var consumeRows, peekRows [][]string
+	for _, row := range tbl.Rows {
+		if row[1] == "consume" {
+			consumeRows = append(consumeRows, row)
+		} else {
+			peekRows = append(peekRows, row)
+		}
+	}
+	// Consume: extent monotonically non-increasing, zero duplicates.
+	prev := int(^uint(0) >> 1)
+	for _, row := range consumeRows {
+		if d := atoi(t, row[3]); d != 0 {
+			t.Errorf("consume round %s returned %d duplicates", row[0], d)
+		}
+		ext := atoi(t, row[4])
+		if ext > prev {
+			t.Errorf("consume extent grew: %d -> %d", prev, ext)
+		}
+		prev = ext
+	}
+	// Peek: all rounds after the first are pure duplicates; extent flat.
+	for i, row := range peekRows {
+		if i == 0 {
+			continue
+		}
+		if atoi(t, row[2]) != atoi(t, row[3]) {
+			t.Errorf("peek round %s: answer %s != dups %s", row[0], row[2], row[3])
+		}
+		if atoi(t, row[4]) != atoi(t, peekRows[0][4]) {
+			t.Errorf("peek extent changed at round %s", row[0])
+		}
+	}
+}
+
+func TestE5DistillAccuracy(t *testing.T) {
+	tbl := E5Distill(Config{Scale: 0.2, Seed: 7})
+	cells := map[string][]string{}
+	for _, row := range tbl.Rows {
+		cells[row[0]] = row
+	}
+	if atof(t, cells["count"][3]) != 0 {
+		t.Errorf("count not exact: rel_err %s", cells["count"][3])
+	}
+	if e := atof(t, cells["ndv(user)"][3]); e > 0.05 {
+		t.Errorf("NDV error %v > 5%%", e)
+	}
+	if r := atof(t, cells["bytes"][3]); r >= 0.5 {
+		t.Errorf("container/raw ratio %v not < 0.5 at this scale", r)
+	}
+	if hits := atoi(t, cells["top5(url) recall"][2]); hits < 4 {
+		t.Errorf("heavy-hitter recall %d/5", hits)
+	}
+}
+
+func TestE6ExtinctionMonotoneInRates(t *testing.T) {
+	tbl := E6Extinction(testCfg())
+	// Build map[(sr,dr)] = ticks.
+	ticks := map[string]int{}
+	for _, row := range tbl.Rows {
+		ticks[row[0]+"/"+row[1]] = atoi(t, row[2])
+		if atoi(t, row[2]) <= 0 {
+			t.Errorf("non-positive extinction time in row %v", row)
+		}
+	}
+	if !(ticks["16/0.25"] < ticks["1/0.05"]) {
+		t.Errorf("hardest setting (%d) not faster than gentlest (%d)", ticks["16/0.25"], ticks["1/0.05"])
+	}
+}
+
+func TestE7CaptureRisesWithFrequency(t *testing.T) {
+	tbl := E7Health(testCfg())
+	rates := map[string]float64{}
+	for _, row := range tbl.Rows {
+		rates[row[0]] = atof(t, row[4])
+	}
+	if rates["0"] != 0 {
+		t.Errorf("never-distill capture rate = %v, want 0", rates["0"])
+	}
+	if !(rates["5"] > rates["50"]) {
+		t.Errorf("capture(5)=%v not above capture(50)=%v", rates["5"], rates["50"])
+	}
+}
+
+func TestE8FungiBounded(t *testing.T) {
+	tbl := E8SteadyState(testCfg())
+	for _, row := range tbl.Rows {
+		bounded := row[4] == "true"
+		if row[0] == "none" && bounded {
+			t.Error("'none' reported bounded")
+		}
+		if row[0] != "none" && !bounded {
+			t.Errorf("%s reported unbounded", row[0])
+		}
+	}
+}
+
+func TestE9MassFallsFreshnessFloors(t *testing.T) {
+	tbl := E9FreshnessTradeoff(testCfg())
+	prevMass := atof(t, tbl.Rows[0][2])
+	for _, row := range tbl.Rows[1:] {
+		mass := atof(t, row[2])
+		if mass > prevMass {
+			t.Errorf("answer mass rose with harsher decay: %v -> %v", prevMass, mass)
+		}
+		prevMass = mass
+	}
+	for _, row := range tbl.Rows {
+		if f := atof(t, row[3]); f < 0.42 {
+			t.Errorf("rate %s: survivor mean freshness %v below the 0.5 floor", row[0], f)
+		}
+	}
+	// The harshest rate leaves a strictly smaller answer than the mildest.
+	if !(atof(t, tbl.Rows[len(tbl.Rows)-1][1]) < atof(t, tbl.Rows[0][1])) {
+		t.Error("answer size did not shrink with decay aggressiveness")
+	}
+}
+
+func TestTableRenderAlignment(t *testing.T) {
+	tbl := &Table{
+		ID:     "X",
+		Title:  "demo",
+		Header: []string{"a", "long_header"},
+		Notes:  []string{"a note"},
+	}
+	tbl.Add(1, 2.5)
+	tbl.Add("wide-cell-content", 3)
+	out := tbl.String()
+	for _, want := range []string{"== X: demo ==", "long_header", "wide-cell-content", "# a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if tbl.Cell(0, 1) != "2.5" {
+		t.Errorf("Cell = %q", tbl.Cell(0, 1))
+	}
+}

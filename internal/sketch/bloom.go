@@ -1,0 +1,82 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bloom is a Bloom filter: a compact set membership summary with
+// configurable false-positive rate and no false negatives. Distilled
+// containers use it to answer "was a tuple like this ever present?"
+// after the raw data has rotted away.
+type Bloom struct {
+	bits  []uint64
+	nbits uint64
+	k     uint32 // number of hash functions
+	added uint64
+}
+
+// NewBloom sizes a filter for expectedItems at the target
+// falsePositiveRate (both must be positive; rate in (0,1)).
+func NewBloom(expectedItems uint64, falsePositiveRate float64) (*Bloom, error) {
+	if expectedItems == 0 {
+		return nil, fmt.Errorf("sketch: bloom expectedItems must be positive")
+	}
+	if falsePositiveRate <= 0 || falsePositiveRate >= 1 {
+		return nil, fmt.Errorf("sketch: bloom fp rate %v out of (0,1)", falsePositiveRate)
+	}
+	// Optimal sizing: m = -n ln p / (ln 2)^2, k = m/n ln 2.
+	m := uint64(math.Ceil(-float64(expectedItems) * math.Log(falsePositiveRate) / (math.Ln2 * math.Ln2)))
+	if m < 64 {
+		m = 64
+	}
+	k := uint32(math.Round(float64(m) / float64(expectedItems) * math.Ln2))
+	if k == 0 {
+		k = 1
+	}
+	return &Bloom{
+		bits:  make([]uint64, (m+63)/64),
+		nbits: m,
+		k:     k,
+	}, nil
+}
+
+// MustBloom is NewBloom that panics on error.
+func MustBloom(expectedItems uint64, fpRate float64) *Bloom {
+	b, err := NewBloom(expectedItems, fpRate)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Add inserts item.
+func (b *Bloom) Add(item []byte) {
+	h1 := fnv64a(0, item)
+	h2 := fnv64a(1, item) | 1 // odd so the stride cycles all positions
+	for i := uint32(0); i < b.k; i++ {
+		pos := (h1 + uint64(i)*h2) % b.nbits
+		b.bits[pos/64] |= 1 << (pos % 64)
+	}
+	b.added++
+}
+
+// MayContain reports whether item was possibly added. False means
+// definitely not added.
+func (b *Bloom) MayContain(item []byte) bool {
+	h1 := fnv64a(0, item)
+	h2 := fnv64a(1, item) | 1
+	for i := uint32(0); i < b.k; i++ {
+		pos := (h1 + uint64(i)*h2) % b.nbits
+		if b.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Added returns the number of Add calls.
+func (b *Bloom) Added() uint64 { return b.added }
+
+// Bytes returns the approximate memory footprint.
+func (b *Bloom) Bytes() int { return 8 * len(b.bits) }

@@ -1,0 +1,46 @@
+// Package sketch provides the summary structures the paper calls
+// "(datamining) 'cooking' schemes" (§4): compact, mergeable digests that
+// distilled query answers and rotting data are turned into. All sketches
+// are stdlib-only, deterministic, and serialisable.
+//
+// The shared element model is a byte string; internal/container adapts
+// tuples onto it.
+package sketch
+
+import "encoding/binary"
+
+// fnv64a hashes data with the FNV-1a 64-bit function, parameterised by a
+// seed so one input can feed many independent hash rows. We inline the
+// function rather than using hash/fnv to avoid an allocation per call.
+func fnv64a(seed uint64, data []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	// Mix the seed in as if it were an 8-byte prefix.
+	var s [8]byte
+	binary.LittleEndian.PutUint64(s[:], seed)
+	for _, b := range s {
+		h ^= uint64(b)
+		h *= prime
+	}
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return fmix64(h)
+}
+
+// fmix64 is the MurmurHash3 finaliser. FNV-1a mixes its low bits well
+// but leaves the high bits weakly avalanched for short inputs, which
+// breaks HyperLogLog's register indexing (it uses the top bits); the
+// finaliser fixes the distribution at negligible cost.
+func fmix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

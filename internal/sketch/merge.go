@@ -1,0 +1,111 @@
+package sketch
+
+import "errors"
+
+// Merge support for the remaining sketches. Count-min and HLL merges
+// are exact (in merge.go's siblings); the structures here merge
+// approximately, which is documented per method.
+
+// Merge folds other into h by re-adding other's bucket masses at their
+// midpoints. The result is approximate: other's intra-bucket
+// distribution is lost, but counts, sums, mins and maxes stay exact.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.count == 0 {
+		return
+	}
+	counts, lo, hi := other.Buckets()
+	width := (hi - lo) / float64(len(counts))
+	// Track exact moments, then correct after the bucket replay.
+	exactCount := h.count + other.count
+	exactSum := h.sum + other.sum
+	min, max := h.min, h.max
+	if !h.init || other.min < min {
+		min = other.min
+	}
+	if !h.init || other.max > max {
+		max = other.max
+	}
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		mid := lo + (float64(i)+0.5)*width
+		for j := uint64(0); j < c; j++ {
+			h.Add(mid)
+		}
+	}
+	h.count = exactCount
+	h.sum = exactSum
+	h.min = min
+	h.max = max
+}
+
+// Merge folds other into t: counts for shared items add exactly, and
+// the union is re-reduced to k counters. Error bounds loosen to the sum
+// of both sketches' bounds.
+func (t *TopK) Merge(other *TopK) {
+	for item, c := range other.counters {
+		if mine, ok := t.counters[item]; ok {
+			mine.count += c.count
+			mine.err += c.err
+			continue
+		}
+		t.counters[item] = &ssCounter{count: c.count, err: c.err}
+	}
+	t.total += other.total
+	// Shrink back to k by evicting the smallest counters.
+	for len(t.counters) > t.k {
+		var minKey string
+		var minC *ssCounter
+		for k2, c := range t.counters {
+			if minC == nil || c.count < minC.count || (c.count == minC.count && k2 < minKey) {
+				minKey, minC = k2, c
+			}
+		}
+		delete(t.counters, minKey)
+	}
+}
+
+// Merge folds other into b (bitwise OR). The filters must have the same
+// geometry, which holds whenever both were built with the same
+// parameters.
+func (b *Bloom) Merge(other *Bloom) error {
+	if b.nbits != other.nbits || b.k != other.k {
+		return errors.New("sketch: bloom geometry mismatch")
+	}
+	for i := range b.bits {
+		b.bits[i] |= other.bits[i]
+	}
+	b.added += other.added
+	return nil
+}
+
+// Merge folds other into r with weighted reservoir union: each slot of
+// the merged sample is drawn from r's or other's sample with
+// probability proportional to the stream sizes they represent. The
+// result approximates a uniform sample over the union.
+func (r *Reservoir) Merge(other *Reservoir) {
+	if other.seen == 0 {
+		return
+	}
+	if r.seen == 0 {
+		r.items = append(r.items[:0], other.items...)
+		r.seen = other.seen
+		return
+	}
+	total := r.seen + other.seen
+	merged := make([][]byte, 0, r.k)
+	for i := 0; i < r.k; i++ {
+		pickOther := uint64(r.rng.Int63n(int64(total))) < other.seen
+		src := r.items
+		if pickOther {
+			src = other.items
+		}
+		if len(src) == 0 {
+			continue
+		}
+		merged = append(merged, src[r.rng.Intn(len(src))])
+	}
+	r.items = merged
+	r.seen = total
+}

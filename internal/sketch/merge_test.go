@@ -1,0 +1,148 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHistogramMergeMoments(t *testing.T) {
+	a, b := MustHistogram(32), MustHistogram(32)
+	for i := 1; i <= 100; i++ {
+		a.Add(float64(i))
+	}
+	for i := 101; i <= 300; i++ {
+		b.Add(float64(i))
+	}
+	a.Merge(b)
+	if a.Count() != 300 {
+		t.Errorf("Count = %d", a.Count())
+	}
+	if a.Sum() != 45150 {
+		t.Errorf("Sum = %v", a.Sum())
+	}
+	if a.Min() != 1 || a.Max() != 300 {
+		t.Errorf("Min/Max = %v/%v", a.Min(), a.Max())
+	}
+	med := a.Quantile(0.5)
+	if math.Abs(med-150) > 25 {
+		t.Errorf("merged median = %v", med)
+	}
+}
+
+func TestHistogramMergeEmptySides(t *testing.T) {
+	a, b := MustHistogram(8), MustHistogram(8)
+	a.Add(5)
+	a.Merge(b) // empty other: no change
+	if a.Count() != 1 {
+		t.Errorf("Count = %d", a.Count())
+	}
+	empty := MustHistogram(8)
+	empty.Merge(a) // empty receiver adopts other's content
+	if empty.Count() != 1 || empty.Min() != 5 || empty.Max() != 5 {
+		t.Errorf("merge into empty = count %d min %v max %v", empty.Count(), empty.Min(), empty.Max())
+	}
+}
+
+func TestTopKMergeAddsSharedCounts(t *testing.T) {
+	a, b := MustTopK(4), MustTopK(4)
+	for i := 0; i < 30; i++ {
+		a.Add([]byte("hot"))
+	}
+	for i := 0; i < 20; i++ {
+		b.Add([]byte("hot"))
+	}
+	b.Add([]byte("cold"))
+	a.Merge(b)
+	top := a.Top(2)
+	if top[0].Item != "hot" || top[0].Count != 50 {
+		t.Errorf("top = %v", top)
+	}
+	if a.Total() != 51 {
+		t.Errorf("Total = %d", a.Total())
+	}
+}
+
+func TestTopKMergeShrinksToK(t *testing.T) {
+	a, b := MustTopK(2), MustTopK(2)
+	a.Add([]byte("a"))
+	a.Add([]byte("b"))
+	b.Add([]byte("c"))
+	b.Add([]byte("c"))
+	b.Add([]byte("d"))
+	a.Merge(b)
+	if got := len(a.Top(10)); got > 2 {
+		t.Errorf("merged holds %d counters, want <= 2", got)
+	}
+	// The heaviest item survives.
+	if a.Top(1)[0].Item != "c" {
+		t.Errorf("top after shrink = %v", a.Top(1))
+	}
+}
+
+func TestBloomMerge(t *testing.T) {
+	a := MustBloom(1000, 0.01)
+	b := MustBloom(1000, 0.01)
+	a.Add([]byte("in-a"))
+	b.Add([]byte("in-b"))
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.MayContain([]byte("in-a")) || !a.MayContain([]byte("in-b")) {
+		t.Error("merged bloom lost members")
+	}
+	if a.Added() != 2 {
+		t.Errorf("Added = %d", a.Added())
+	}
+	c := MustBloom(10, 0.5)
+	if err := a.Merge(c); err == nil {
+		t.Error("geometry mismatch accepted")
+	}
+}
+
+func TestReservoirMergeProportional(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	// a saw 100 items of kind 'a'; b saw 900 of kind 'b'. The merged
+	// sample should be ~90% b.
+	bCount := 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		a := MustReservoir(20, rng)
+		b := MustReservoir(20, rng)
+		for i := 0; i < 100; i++ {
+			a.Add([]byte{'a'})
+		}
+		for i := 0; i < 900; i++ {
+			b.Add([]byte{'b'})
+		}
+		a.Merge(b)
+		if a.Seen() != 1000 {
+			t.Fatalf("Seen = %d", a.Seen())
+		}
+		for _, it := range a.Sample() {
+			if it[0] == 'b' {
+				bCount++
+			}
+		}
+	}
+	frac := float64(bCount) / float64(trials*20)
+	if frac < 0.8 || frac > 0.98 {
+		t.Errorf("b fraction = %.3f, want ≈0.9", frac)
+	}
+}
+
+func TestReservoirMergeEmptySides(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := MustReservoir(4, rng)
+	b := MustReservoir(4, rng)
+	b.Add([]byte("x"))
+	a.Merge(b)
+	if a.Seen() != 1 || len(a.Sample()) != 1 {
+		t.Errorf("merge into empty: seen %d, sample %d", a.Seen(), len(a.Sample()))
+	}
+	empty := MustReservoir(4, rng)
+	a.Merge(empty)
+	if a.Seen() != 1 {
+		t.Errorf("merge of empty changed seen: %d", a.Seen())
+	}
+}

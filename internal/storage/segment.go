@@ -1,0 +1,95 @@
+// Package storage implements the extent of a relation: an append-only,
+// time-ordered tuple store organised into fixed-capacity segments.
+//
+// Tuple IDs are assigned densely in insertion order and never reused, so
+// the ID axis coincides with the paper's insertion-time axis. Segment k
+// owns IDs [k*cap, (k+1)*cap). Eviction (rot or consume-on-query) marks
+// tombstones; a fully dead segment is dropped wholesale, which is how
+// the paper's "removing complete insertion ranges" materialises.
+package storage
+
+import (
+	"sort"
+
+	"fungusdb/internal/tuple"
+)
+
+// segment holds tuples whose IDs fall in [base, base+capacity). While
+// dense (the normal state) slot addressing is id-base. After compaction
+// the segment becomes sparse — tombstoned tuples are physically removed,
+// IDs are preserved — and slot addressing binary-searches. dead[slot]
+// marks tombstones; freshness and infection state are mutated in place
+// by the fungus layer.
+type segment struct {
+	base   tuple.ID
+	tuples []tuple.Tuple
+	dead   []bool
+	live   int  // number of non-tombstoned tuples
+	bytes  int  // sum of Size() over live tuples
+	sealed bool // reached capacity at least once; no further appends
+	sparse bool // compacted: IDs no longer dense, use binary search
+}
+
+func newSegment(base tuple.ID, capacity int) *segment {
+	return &segment{
+		base:   base,
+		tuples: make([]tuple.Tuple, 0, capacity),
+		dead:   make([]bool, 0, capacity),
+	}
+}
+
+// append adds a tuple with an ID greater than any present. The segment
+// turns sparse when the ID skips slots (possible after ID-space gaps
+// left by recovery).
+func (s *segment) append(tp tuple.Tuple) {
+	if tp.ID != s.base+tuple.ID(len(s.tuples)) {
+		s.sparse = true
+	}
+	s.tuples = append(s.tuples, tp)
+	s.dead = append(s.dead, false)
+	s.live++
+	s.bytes += tp.Size()
+	if len(s.tuples) == cap(s.tuples) {
+		s.sealed = true
+	}
+}
+
+// slot returns the index of id within tuples, or -1 if absent.
+func (s *segment) slot(id tuple.ID) int {
+	if !s.sparse {
+		if id < s.base {
+			return -1
+		}
+		i := int(id - s.base)
+		if i >= len(s.tuples) {
+			return -1
+		}
+		return i
+	}
+	i := sort.Search(len(s.tuples), func(j int) bool { return s.tuples[j].ID >= id })
+	if i < len(s.tuples) && s.tuples[i].ID == id {
+		return i
+	}
+	return -1
+}
+
+// get returns a pointer to the live tuple with the given id, or nil.
+func (s *segment) get(id tuple.ID) *tuple.Tuple {
+	i := s.slot(id)
+	if i < 0 || s.dead[i] {
+		return nil
+	}
+	return &s.tuples[i]
+}
+
+// kill tombstones the tuple in slot i if still live, reporting whether
+// it did.
+func (s *segment) kill(i int) bool {
+	if s.dead[i] {
+		return false
+	}
+	s.dead[i] = true
+	s.live--
+	s.bytes -= s.tuples[i].Size()
+	return true
+}

@@ -1,0 +1,469 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"fungusdb/internal/clock"
+	"fungusdb/internal/tuple"
+)
+
+// DefaultSegmentSize is the tuple capacity of one segment when the
+// caller does not choose one.
+const DefaultSegmentSize = 4096
+
+// ErrNotFound is returned when an operation addresses a tuple that was
+// never inserted or has been evicted.
+var ErrNotFound = errors.New("storage: tuple not found")
+
+// Store is the extent of one relation. It is not safe for concurrent
+// use; the engine layer (internal/core) serialises access per table.
+type Store struct {
+	schema  *tuple.Schema
+	segSize int
+	segs    []*segment // segs[k] covers IDs [k*segSize, (k+1)*segSize); nil once dropped
+	first   int        // index of the first non-nil segment (all before are dropped)
+	nextID  tuple.ID
+	live    int
+	bytes   int
+
+	evictions uint64 // tombstones ever written
+	drops     uint64 // whole segments reclaimed
+
+	restoreSeg int // segment index of the last Restore, -1 outside recovery
+}
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithSegmentSize sets the per-segment tuple capacity. It panics if n
+// is not positive.
+func WithSegmentSize(n int) Option {
+	if n <= 0 {
+		panic("storage: segment size must be positive")
+	}
+	return func(s *Store) { s.segSize = n }
+}
+
+// New creates an empty Store for the given schema.
+func New(schema *tuple.Schema, opts ...Option) *Store {
+	s := &Store{schema: schema, segSize: DefaultSegmentSize, restoreSeg: -1}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Schema returns the relation schema.
+func (s *Store) Schema() *tuple.Schema { return s.schema }
+
+// Len returns the number of live tuples in the extent.
+func (s *Store) Len() int { return s.live }
+
+// Bytes returns the approximate live extent size in bytes.
+func (s *Store) Bytes() int { return s.bytes }
+
+// NextID returns the ID the next insert will receive.
+func (s *Store) NextID() tuple.ID { return s.nextID }
+
+// Stats summarises lifetime store activity.
+type Stats struct {
+	Live        int
+	Bytes       int
+	Inserted    uint64
+	Evicted     uint64
+	SegsTotal   int // segments ever created
+	SegsLive    int // segments currently held
+	SegsDropped uint64
+}
+
+// Stats returns a snapshot of store counters.
+func (s *Store) Stats() Stats {
+	liveSegs := 0
+	for _, sg := range s.segs {
+		if sg != nil {
+			liveSegs++
+		}
+	}
+	return Stats{
+		Live:        s.live,
+		Bytes:       s.bytes,
+		Inserted:    uint64(s.nextID),
+		Evicted:     s.evictions,
+		SegsTotal:   len(s.segs),
+		SegsLive:    liveSegs,
+		SegsDropped: s.drops,
+	}
+}
+
+// Insert validates attrs against the schema and appends a new tuple with
+// full freshness at tick now, returning it.
+func (s *Store) Insert(now clock.Tick, attrs []tuple.Value) (tuple.Tuple, error) {
+	if err := s.schema.Validate(attrs); err != nil {
+		return tuple.Tuple{}, err
+	}
+	tp := tuple.New(s.allocID(), now, attrs)
+	s.insertRaw(tp)
+	return tp, nil
+}
+
+// AdvanceNextID raises the ID the next insert will receive to at least
+// id. Recovery uses it to restore the pre-crash allocation point so IDs
+// of evicted tuples are never reused.
+func (s *Store) AdvanceNextID(id tuple.ID) {
+	if id > s.nextID {
+		s.nextID = id
+	}
+}
+
+// allocID returns the ID for the next insert, skipping past segments
+// that can no longer accept appends (dropped, or sealed sparse segments
+// left behind by a snapshot restore). IDs stay strictly increasing but
+// need not be contiguous.
+func (s *Store) allocID() tuple.ID {
+	for {
+		segIdx := int(uint64(s.nextID) / uint64(s.segSize))
+		if segIdx >= len(s.segs) {
+			return s.nextID
+		}
+		sg := s.segs[segIdx]
+		if sg != nil && !sg.sealed {
+			return s.nextID
+		}
+		s.nextID = tuple.ID((segIdx + 1) * s.segSize)
+	}
+}
+
+// InsertTuple restores a fully formed tuple (including freshness and
+// infection state), used by WAL recovery and snapshot load. The tuple's
+// ID must equal NextID(); recovery replays in insertion order.
+func (s *Store) InsertTuple(tp tuple.Tuple) error {
+	if tp.ID != s.nextID {
+		return fmt.Errorf("storage: out-of-order restore: got id %d, want %d", tp.ID, s.nextID)
+	}
+	if err := s.schema.Validate(tp.Attrs); err != nil {
+		return err
+	}
+	s.insertRaw(tp)
+	return nil
+}
+
+// Restore appends a tuple during snapshot load. Unlike InsertTuple it
+// accepts sparse IDs (snapshots only contain survivors); IDs must still
+// be strictly increasing across calls. Segments fully covered by gaps
+// stay unallocated, and segments the restore cursor has moved past are
+// sealed so they can be dropped when their last tuple is evicted. Call
+// FinishRestore after the last tuple.
+func (s *Store) Restore(tp tuple.Tuple) error {
+	if tp.ID < s.nextID {
+		return fmt.Errorf("storage: restore id %d not increasing (next %d)", tp.ID, s.nextID)
+	}
+	if err := s.schema.Validate(tp.Attrs); err != nil {
+		return err
+	}
+	segIdx := int(uint64(tp.ID) / uint64(s.segSize))
+	for len(s.segs) <= segIdx {
+		s.segs = append(s.segs, nil)
+	}
+	// Seal every earlier segment the cursor skipped or finished.
+	for i := s.restoreSeg; i >= 0 && i < segIdx; i++ {
+		if s.segs[i] != nil {
+			s.segs[i].sealed = true
+		}
+	}
+	if s.restoreSeg < segIdx {
+		s.restoreSeg = segIdx
+	}
+	if s.segs[segIdx] == nil {
+		s.segs[segIdx] = newSegment(tuple.ID(segIdx*s.segSize), s.segSize)
+	}
+	sg := s.segs[segIdx]
+	if tp.ID != sg.base+tuple.ID(len(sg.tuples)) {
+		sg.sparse = true
+	}
+	sg.tuples = append(sg.tuples, tp)
+	sg.dead = append(sg.dead, false)
+	sg.live++
+	sg.bytes += tp.Size()
+	s.nextID = tp.ID + 1
+	s.live++
+	s.bytes += tp.Size()
+	return nil
+}
+
+// FinishRestore seals the final restored segment when it cannot receive
+// further inserts (it is sparse, so insertRaw would misalign), keeping
+// the drop-when-empty invariant. A dense final segment stays open as the
+// normal insert tail.
+func (s *Store) FinishRestore() {
+	if s.restoreSeg < 0 || s.restoreSeg >= len(s.segs) {
+		return
+	}
+	sg := s.segs[s.restoreSeg]
+	if sg != nil && sg.sparse {
+		sg.sealed = true
+	}
+	// Advance first past any leading nil gap segments.
+	for s.first < len(s.segs) && s.segs[s.first] == nil {
+		s.first++
+	}
+}
+
+func (s *Store) insertRaw(tp tuple.Tuple) {
+	segIdx := int(uint64(tp.ID) / uint64(s.segSize))
+	if segIdx >= len(s.segs) && len(s.segs) > 0 {
+		// Moving past the current tail: it will never receive another
+		// append (IDs only grow), so seal it to keep drop-when-empty.
+		if tail := s.segs[len(s.segs)-1]; tail != nil {
+			tail.sealed = true
+		}
+	}
+	for len(s.segs) <= segIdx {
+		s.segs = append(s.segs, newSegment(tuple.ID(len(s.segs)*s.segSize), s.segSize))
+	}
+	s.segs[segIdx].append(tp)
+	s.nextID++
+	s.live++
+	s.bytes += tp.Size()
+}
+
+// Get returns a copy of the live tuple with the given id.
+func (s *Store) Get(id tuple.ID) (tuple.Tuple, error) {
+	if tp := s.peek(id); tp != nil {
+		return tp.Clone(), nil
+	}
+	return tuple.Tuple{}, ErrNotFound
+}
+
+// Contains reports whether id refers to a live tuple.
+func (s *Store) Contains(id tuple.ID) bool { return s.peek(id) != nil }
+
+// peek returns a pointer to the live tuple with id, or nil. Internal:
+// callers must not retain the pointer across mutations.
+func (s *Store) peek(id tuple.ID) *tuple.Tuple {
+	sg := s.segOf(id)
+	if sg == nil {
+		return nil
+	}
+	return sg.get(id)
+}
+
+func (s *Store) segOf(id tuple.ID) *segment {
+	segIdx := int(uint64(id) / uint64(s.segSize))
+	if segIdx < s.first || segIdx >= len(s.segs) {
+		return nil
+	}
+	return s.segs[segIdx]
+}
+
+// Update applies fn to the live tuple with id in place. fn may mutate
+// freshness, infection state and attributes; it must not change ID or T.
+func (s *Store) Update(id tuple.ID, fn func(*tuple.Tuple)) error {
+	sg := s.segOf(id)
+	if sg == nil {
+		return ErrNotFound
+	}
+	tp := sg.get(id)
+	if tp == nil {
+		return ErrNotFound
+	}
+	before := tp.Size()
+	fn(tp)
+	delta := tp.Size() - before
+	s.bytes += delta
+	sg.bytes += delta
+	return nil
+}
+
+// Evict tombstones the tuple with id. A sealed segment whose last live
+// tuple is evicted is dropped and its memory released — the paper's
+// "removing complete insertion ranges".
+func (s *Store) Evict(id tuple.ID) error {
+	segIdx := int(uint64(id) / uint64(s.segSize))
+	if segIdx < s.first || segIdx >= len(s.segs) || s.segs[segIdx] == nil {
+		return ErrNotFound
+	}
+	sg := s.segs[segIdx]
+	slot := sg.slot(id)
+	if slot < 0 || !sg.kill(slot) {
+		return ErrNotFound
+	}
+	s.live--
+	s.bytes -= sg.tuples[slot].Size()
+	s.evictions++
+	if sg.live == 0 && sg.sealed {
+		s.dropSegment(segIdx)
+	}
+	return nil
+}
+
+func (s *Store) dropSegment(i int) {
+	s.segs[i] = nil
+	s.drops++
+	for s.first < len(s.segs) && s.segs[s.first] == nil {
+		s.first++
+	}
+}
+
+// Scan calls fn for every live tuple in insertion (time) order. The
+// pointer passed to fn is valid only during the call; fn must not evict
+// or insert. Returning false stops the scan.
+func (s *Store) Scan(fn func(*tuple.Tuple) bool) {
+	for i := s.first; i < len(s.segs); i++ {
+		sg := s.segs[i]
+		if sg == nil {
+			continue
+		}
+		for j := range sg.tuples {
+			if sg.dead[j] {
+				continue
+			}
+			if !fn(&sg.tuples[j]) {
+				return
+			}
+		}
+	}
+}
+
+// ScanIDs appends the IDs of all live tuples to dst in insertion order
+// and returns it. Used by fungi that must mutate during iteration.
+func (s *Store) ScanIDs(dst []tuple.ID) []tuple.ID {
+	s.Scan(func(tp *tuple.Tuple) bool {
+		dst = append(dst, tp.ID)
+		return true
+	})
+	return dst
+}
+
+// PrevLive returns the nearest live tuple ID strictly before id on the
+// time axis, with ok=false when none exists. id itself need not be live.
+func (s *Store) PrevLive(id tuple.ID) (tuple.ID, bool) {
+	if id == 0 {
+		return 0, false
+	}
+	bound := id - 1 // largest candidate ID
+	segIdx := int(uint64(bound) / uint64(s.segSize))
+	if segIdx >= len(s.segs) {
+		segIdx = len(s.segs) - 1
+		bound = tuple.ID(len(s.segs)*s.segSize) - 1
+	}
+	for i := segIdx; i >= s.first; i-- {
+		sg := s.segs[i]
+		if sg != nil {
+			if got, ok := sg.lastLiveAtOrBelow(bound); ok {
+				return got, true
+			}
+		}
+		if i == 0 {
+			break
+		}
+		bound = tuple.ID(i*s.segSize) - 1
+	}
+	return 0, false
+}
+
+// NextLive returns the nearest live tuple ID strictly after id, with
+// ok=false when none exists.
+func (s *Store) NextLive(id tuple.ID) (tuple.ID, bool) {
+	bound := id + 1 // smallest candidate ID
+	segIdx := int(uint64(bound) / uint64(s.segSize))
+	if segIdx < s.first {
+		segIdx = s.first
+		bound = tuple.ID(s.first) * tuple.ID(s.segSize)
+	}
+	for i := segIdx; i < len(s.segs); i++ {
+		sg := s.segs[i]
+		if sg != nil {
+			if got, ok := sg.firstLiveAtOrAbove(bound); ok {
+				return got, true
+			}
+		}
+		bound = tuple.ID(i+1) * tuple.ID(s.segSize)
+	}
+	return 0, false
+}
+
+// lastLiveAtOrBelow returns the greatest live tuple ID <= bound in sg.
+func (sg *segment) lastLiveAtOrBelow(bound tuple.ID) (tuple.ID, bool) {
+	// Index of the last tuple with ID <= bound.
+	j := sort.Search(len(sg.tuples), func(k int) bool { return sg.tuples[k].ID > bound }) - 1
+	for ; j >= 0; j-- {
+		if !sg.dead[j] {
+			return sg.tuples[j].ID, true
+		}
+	}
+	return 0, false
+}
+
+// firstLiveAtOrAbove returns the least live tuple ID >= bound in sg.
+func (sg *segment) firstLiveAtOrAbove(bound tuple.ID) (tuple.ID, bool) {
+	j := sort.Search(len(sg.tuples), func(k int) bool { return sg.tuples[k].ID >= bound })
+	for ; j < len(sg.tuples); j++ {
+		if !sg.dead[j] {
+			return sg.tuples[j].ID, true
+		}
+	}
+	return 0, false
+}
+
+// FirstLive returns the smallest live tuple ID, with ok=false when the
+// extent is empty.
+func (s *Store) FirstLive() (tuple.ID, bool) {
+	for i := s.first; i < len(s.segs); i++ {
+		sg := s.segs[i]
+		if sg == nil {
+			continue
+		}
+		if got, ok := sg.firstLiveAtOrAbove(sg.base); ok {
+			return got, true
+		}
+	}
+	return 0, false
+}
+
+// LastLive returns the largest live tuple ID, with ok=false when the
+// extent is empty.
+func (s *Store) LastLive() (tuple.ID, bool) {
+	if s.nextID == 0 {
+		return 0, false
+	}
+	return s.PrevLive(s.nextID)
+}
+
+// Compact rewrites partially dead sealed segments, physically removing
+// tombstoned tuples while preserving IDs (segments become sparse). It
+// returns the number of tombstone slots reclaimed. Compact never changes
+// what Scan observes, only memory usage; the unsealed tail segment is
+// skipped.
+//
+// This is the "deferred compaction" arm of the ablation in DESIGN.md;
+// eager deletion corresponds to calling Compact after every Evict.
+func (s *Store) Compact() int {
+	reclaimed := 0
+	for i := s.first; i < len(s.segs); i++ {
+		sg := s.segs[i]
+		if sg == nil || !sg.sealed {
+			continue
+		}
+		if sg.live == 0 {
+			reclaimed += len(sg.tuples)
+			s.dropSegment(i)
+			continue
+		}
+		if sg.live == len(sg.tuples) {
+			continue
+		}
+		kept := make([]tuple.Tuple, 0, sg.live)
+		for j := range sg.tuples {
+			if !sg.dead[j] {
+				kept = append(kept, sg.tuples[j])
+			}
+		}
+		reclaimed += len(sg.tuples) - len(kept)
+		sg.tuples = kept
+		sg.dead = make([]bool, len(kept))
+		sg.sparse = true
+	}
+	return reclaimed
+}

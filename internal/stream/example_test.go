@@ -1,0 +1,53 @@
+package stream_test
+
+import (
+	"fmt"
+	"log"
+
+	"fungusdb/internal/core"
+	"fungusdb/internal/fungus"
+	"fungusdb/internal/stream"
+	"fungusdb/internal/tuple"
+)
+
+// Example attaches a standing rule and a sequence rule to a decaying
+// log table and polls them as events arrive.
+func Example() {
+	db, _ := core.Open(core.DBConfig{Seed: 1})
+	defer db.Close()
+	logs, _ := db.CreateTable("logs", core.TableConfig{
+		Schema: tuple.MustSchema(
+			tuple.Column{Name: "msg", Kind: tuple.KindString},
+			tuple.Column{Name: "sev", Kind: tuple.KindInt},
+		),
+		Fungus: fungus.TTL{Lifetime: 100},
+	})
+
+	mon := stream.NewMonitor(logs)
+	err := mon.OnMatch("serious", "sev <= 2", func(e stream.Event) {
+		fmt.Println("serious:", e.Tuple.Attrs[0].AsString())
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = mon.OnSequence("escalation", "sev = 2", "sev = 0", 10, func(e stream.Event) {
+		fmt.Println("escalation detected at", e.At)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	logs.Insert(core.Row("disk latency high", 2))
+	db.Tick()
+	logs.Insert(core.Row("kernel panic", 0))
+	if _, err := mon.Poll(); err != nil {
+		log.Fatal(err)
+	}
+	st := mon.Stats()
+	fmt.Printf("polled %d fired %d\n", st.Polled, st.Fired)
+	// Output:
+	// serious: disk latency high
+	// serious: kernel panic
+	// escalation detected at t1
+	// polled 2 fired 3
+}

@@ -1,0 +1,116 @@
+package tuple
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewSchemaValid(t *testing.T) {
+	s, err := NewSchema(
+		Column{Name: "device", Kind: KindString},
+		Column{Name: "temp", Kind: KindFloat},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", s.Len())
+	}
+	if s.Index("temp") != 1 {
+		t.Errorf("Index(temp) = %d, want 1", s.Index("temp"))
+	}
+	if s.Index("missing") != -1 {
+		t.Errorf("Index(missing) = %d, want -1", s.Index("missing"))
+	}
+	if s.Column(0).Name != "device" {
+		t.Errorf("Column(0) = %v", s.Column(0))
+	}
+}
+
+func TestNewSchemaErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		cols []Column
+		want string
+	}{
+		{"empty name", []Column{{Name: "", Kind: KindInt}}, "empty name"},
+		{"reserved _t", []Column{{Name: SysTick, Kind: KindInt}}, "reserved"},
+		{"reserved _f", []Column{{Name: SysFresh, Kind: KindFloat}}, "reserved"},
+		{"invalid kind", []Column{{Name: "a", Kind: KindInvalid}}, "invalid kind"},
+		{"duplicate", []Column{{Name: "a", Kind: KindInt}, {Name: "a", Kind: KindInt}}, "duplicate"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := NewSchema(c.cols...)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error = %v, want containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestParseSchemaRoundTrip(t *testing.T) {
+	spec := "device STRING, temp FLOAT, n INT, ok BOOL"
+	s, err := ParseSchema(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.String(); got != spec {
+		t.Errorf("String() = %q, want %q", got, spec)
+	}
+}
+
+func TestParseSchemaErrors(t *testing.T) {
+	for _, spec := range []string{"", "noKind", "a INT, b", "a BLOB"} {
+		if _, err := ParseSchema(spec); err == nil {
+			t.Errorf("ParseSchema(%q) should fail", spec)
+		}
+	}
+}
+
+func TestSchemaEqual(t *testing.T) {
+	a := MustSchema(Column{Name: "x", Kind: KindInt})
+	b := MustSchema(Column{Name: "x", Kind: KindInt})
+	c := MustSchema(Column{Name: "x", Kind: KindFloat})
+	d := MustSchema(Column{Name: "x", Kind: KindInt}, Column{Name: "y", Kind: KindInt})
+	if !a.Equal(b) {
+		t.Error("identical schemas not Equal")
+	}
+	if a.Equal(c) {
+		t.Error("different kinds reported Equal")
+	}
+	if a.Equal(d) {
+		t.Error("different arity reported Equal")
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	s := MustSchema(Column{Name: "n", Kind: KindInt}, Column{Name: "s", Kind: KindString})
+	if err := s.Validate([]Value{Int(1), String_("x")}); err != nil {
+		t.Errorf("valid row rejected: %v", err)
+	}
+	if err := s.Validate([]Value{Int(1)}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if err := s.Validate([]Value{String_("x"), Int(1)}); err == nil {
+		t.Error("wrong kinds accepted")
+	}
+}
+
+func TestSchemaColumnsIsCopy(t *testing.T) {
+	s := MustSchema(Column{Name: "n", Kind: KindInt})
+	cols := s.Columns()
+	cols[0].Name = "mutated"
+	if s.Column(0).Name != "n" {
+		t.Error("Columns() leaked internal slice")
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSchema with bad columns did not panic")
+		}
+	}()
+	MustSchema(Column{Name: "", Kind: KindInt})
+}

@@ -1,0 +1,93 @@
+package tuple
+
+import (
+	"fmt"
+	"strings"
+
+	"fungusdb/internal/clock"
+)
+
+// Freshness is the paper's f property: a value in (0, 1] while the tuple
+// is alive. A tuple whose freshness reaches 0 (or below) is rotten and
+// must be discarded from the extent.
+type Freshness float64
+
+// Full is the initial freshness of every inserted tuple.
+const Full Freshness = 1.0
+
+// Rotten reports whether the freshness has decayed to or past zero.
+func (f Freshness) Rotten() bool { return f <= 0 }
+
+// Clamp bounds f into [0, 1]. Values within 1e-9 of zero snap to exactly
+// zero, so repeated subtractive decay (1.0 − k·rate) rots on the tick
+// arithmetic says it should rather than one tick late on float residue.
+func (f Freshness) Clamp() Freshness {
+	if f < 1e-9 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// ID identifies a tuple within one relation for its whole lifetime.
+// IDs are assigned densely in insertion order, which makes them double
+// as positions on the paper's time axis: the "direct neighbours" of a
+// tuple under the EGI fungus are the tuples with adjacent IDs.
+type ID uint64
+
+// Tuple is one element of a relation extent: R(t, f, A1..An).
+type Tuple struct {
+	ID    ID
+	T     clock.Tick // insertion time, the paper's t
+	F     Freshness  // freshness, the paper's f
+	Attrs []Value    // user attributes A1..An, positions match the Schema
+
+	// Infected marks the tuple as carrying an active fungus infection
+	// (EGI seeds and their neighbours). Uninfected tuples under EGI do
+	// not lose freshness; see internal/fungus.
+	Infected bool
+}
+
+// New returns a fresh tuple with freshness 1.0.
+func New(id ID, t clock.Tick, attrs []Value) Tuple {
+	return Tuple{ID: id, T: t, F: Full, Attrs: attrs}
+}
+
+// Clone returns a deep copy (the attribute slice is copied).
+func (tp Tuple) Clone() Tuple {
+	out := tp
+	out.Attrs = make([]Value, len(tp.Attrs))
+	copy(out.Attrs, tp.Attrs)
+	return out
+}
+
+// Size returns the approximate memory footprint in bytes, for extent
+// accounting.
+func (tp Tuple) Size() int {
+	const header = 8 + 8 + 8 + 1 + 7 + 24 // id + tick + freshness + infected + pad + slice header
+	n := header
+	for _, v := range tp.Attrs {
+		n += v.Size()
+	}
+	return n
+}
+
+// String renders the tuple for debugging: [id@t f=0.83 (v1, v2, ...)].
+func (tp Tuple) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%d@%s f=%.3f", tp.ID, tp.T, float64(tp.F))
+	if tp.Infected {
+		b.WriteString(" infected")
+	}
+	b.WriteString(" (")
+	for i, v := range tp.Attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteString(")]")
+	return b.String()
+}

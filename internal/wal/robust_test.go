@@ -1,0 +1,141 @@
+package wal
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fungusdb/internal/storage"
+	"fungusdb/internal/tuple"
+)
+
+// Robustness: feeding arbitrary bytes to Replay and LoadSnapshot must
+// yield zero-or-some records or a clean error — never a panic and never
+// fabricated data that breaks recovery.
+
+func TestReplayArbitraryBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	dir := t.TempDir()
+	for trial := 0; trial < 200; trial++ {
+		size := rng.Intn(512)
+		data := make([]byte, size)
+		rng.Read(data)
+		path := filepath.Join(dir, "junk.log")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		err := Replay(path, func(Rec) error { return nil })
+		// Random bytes should essentially never form a valid CRC frame;
+		// either way the call must return without panicking.
+		_ = err
+	}
+}
+
+func TestReplayBitFlipsOnValidLog(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, LogFile)
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		tp := tuple.New(tuple.ID(i), 1, []tuple.Value{tuple.String_("dev"), tuple.Int(int64(i))})
+		if err := l.AppendInsert(tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		data := append([]byte(nil), orig...)
+		// Flip 1-3 bits anywhere in the file.
+		for f := 0; f <= rng.Intn(3); f++ {
+			pos := rng.Intn(len(data))
+			data[pos] ^= 1 << rng.Intn(8)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		count := 0
+		var firstErr error
+		err := Replay(path, func(r Rec) error {
+			count++
+			if r.Type == RecInsert && len(r.Tuple.Attrs) != 2 && firstErr == nil {
+				t.Fatalf("trial %d: corrupt record passed CRC with %d attrs", trial, len(r.Tuple.Attrs))
+			}
+			return nil
+		})
+		_ = err // a decode error after a passing CRC is acceptable
+		if count > 20 {
+			t.Fatalf("trial %d: replayed %d records from a 20-record log", trial, count)
+		}
+	}
+}
+
+func TestLoadSnapshotArbitraryBytes(t *testing.T) {
+	schema := tuple.MustSchema(tuple.Column{Name: "n", Kind: tuple.KindInt})
+	rng := rand.New(rand.NewSource(5))
+	dir := t.TempDir()
+	path := filepath.Join(dir, SnapshotFile)
+	for trial := 0; trial < 200; trial++ {
+		size := rng.Intn(1024)
+		data := make([]byte, size)
+		rng.Read(data)
+		// Half the trials get the valid magic so parsing goes deeper.
+		if trial%2 == 0 && size >= 8 {
+			copy(data, []byte("FDBSNAP1"))
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st := storage.New(schema)
+		if err := LoadSnapshot(path, st); err == nil && st.Len() > 0 {
+			t.Fatalf("trial %d: random bytes produced %d tuples", trial, st.Len())
+		}
+	}
+}
+
+func TestRecoverIdempotent(t *testing.T) {
+	schema := tuple.MustSchema(tuple.Column{Name: "n", Kind: tuple.KindInt})
+	dir := t.TempDir()
+	st := storage.New(schema)
+	log, _ := Open(filepath.Join(dir, LogFile))
+	for i := 0; i < 50; i++ {
+		tp, _ := st.Insert(1, []tuple.Value{tuple.Int(int64(i))})
+		log.AppendInsert(tp)
+	}
+	for i := 0; i < 50; i += 3 {
+		st.Evict(tuple.ID(i))
+		log.AppendEvict(tuple.ID(i))
+	}
+	log.Sync()
+	log.Close()
+
+	// Recover repeatedly: every pass yields the identical extent.
+	var want []tuple.ID
+	for pass := 0; pass < 3; pass++ {
+		got, err := Recover(dir, schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := got.ScanIDs(nil)
+		if pass == 0 {
+			want = ids
+			continue
+		}
+		if len(ids) != len(want) {
+			t.Fatalf("pass %d: %d tuples vs %d", pass, len(ids), len(want))
+		}
+		for i := range ids {
+			if ids[i] != want[i] {
+				t.Fatalf("pass %d: extent differs at %d", pass, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"fungusdb/internal/storage"
+	"fungusdb/internal/tuple"
+)
+
+// Snapshot/recovery file names within a table directory.
+const (
+	SnapshotFile = "snapshot.db"
+	LogFile      = "wal.log"
+)
+
+var snapshotMagic = [8]byte{'F', 'D', 'B', 'S', 'N', 'A', 'P', '1'}
+
+// WriteSnapshot serialises every live tuple of store (with exact
+// freshness and infection state) to path, atomically via a temp file +
+// rename. Layout: magic, uvarint nextID, uvarint tuple count, tuples,
+// crc32c of everything after the magic.
+func WriteSnapshot(path string, store *storage.Store) (err error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: snapshot create: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+
+	crc := crc32.New(crcTable)
+	w := bufio.NewWriter(io.MultiWriter(f, crc))
+	if _, err = f.Write(snapshotMagic[:]); err != nil {
+		return fmt.Errorf("wal: snapshot magic: %w", err)
+	}
+	var hdr []byte
+	hdr = binary.AppendUvarint(hdr, uint64(store.NextID()))
+	hdr = binary.AppendUvarint(hdr, uint64(store.Len()))
+	if _, err = w.Write(hdr); err != nil {
+		return fmt.Errorf("wal: snapshot header: %w", err)
+	}
+	var buf []byte
+	var scanErr error
+	store.Scan(func(tp *tuple.Tuple) bool {
+		buf = tuple.AppendEncode(buf[:0], *tp)
+		if _, scanErr = w.Write(buf); scanErr != nil {
+			return false
+		}
+		return true
+	})
+	if scanErr != nil {
+		err = fmt.Errorf("wal: snapshot body: %w", scanErr)
+		return err
+	}
+	if err = w.Flush(); err != nil {
+		return fmt.Errorf("wal: snapshot flush: %w", err)
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
+	if _, err = f.Write(tail[:]); err != nil {
+		return fmt.Errorf("wal: snapshot crc: %w", err)
+	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("wal: snapshot sync: %w", err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("wal: snapshot close: %w", err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("wal: snapshot rename: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshot restores tuples from path into store (which must be
+// empty). A missing file is not an error and loads nothing.
+func LoadSnapshot(path string, store *storage.Store) error {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("wal: snapshot read: %w", err)
+	}
+	if len(data) < len(snapshotMagic)+4 {
+		return fmt.Errorf("wal: snapshot truncated (%d bytes)", len(data))
+	}
+	for i, b := range snapshotMagic {
+		if data[i] != b {
+			return fmt.Errorf("wal: bad snapshot magic")
+		}
+	}
+	body := data[len(snapshotMagic) : len(data)-4]
+	wantCRC := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, crcTable) != wantCRC {
+		return fmt.Errorf("wal: snapshot crc mismatch")
+	}
+
+	pos := 0
+	nextID, w := binary.Uvarint(body[pos:])
+	if w <= 0 {
+		return fmt.Errorf("wal: snapshot bad nextID")
+	}
+	pos += w
+	count, w := binary.Uvarint(body[pos:])
+	if w <= 0 {
+		return fmt.Errorf("wal: snapshot bad count")
+	}
+	pos += w
+	for i := uint64(0); i < count; i++ {
+		tp, n, err := tuple.Decode(body[pos:], store.Schema())
+		if err != nil {
+			return fmt.Errorf("wal: snapshot tuple %d: %w", i, err)
+		}
+		pos += n
+		if err := store.Restore(tp); err != nil {
+			return fmt.Errorf("wal: snapshot tuple %d: %w", i, err)
+		}
+	}
+	store.FinishRestore()
+	// Resume ID allocation where the snapshotted store left off, so IDs
+	// of tuples evicted before the snapshot are never reused.
+	store.AdvanceNextID(tuple.ID(nextID))
+	return nil
+}
+
+// Recover rebuilds a store from the snapshot and WAL in dir. Records
+// that predate the snapshot (possible when a crash interrupted a
+// checkpoint between snapshot rename and log truncation) are skipped.
+func Recover(dir string, schema *tuple.Schema, opts ...storage.Option) (*storage.Store, error) {
+	store := storage.New(schema, opts...)
+	if err := LoadSnapshot(filepath.Join(dir, SnapshotFile), store); err != nil {
+		return nil, err
+	}
+	err := Replay(filepath.Join(dir, LogFile), func(rec Rec) error {
+		switch rec.Type {
+		case RecInsert:
+			if rec.Tuple.ID < store.NextID() {
+				return nil // already in the snapshot
+			}
+			return store.Restore(rec.Tuple)
+		case RecEvict:
+			if err := store.Evict(rec.ID); err != nil && !errors.Is(err, storage.ErrNotFound) {
+				return err
+			}
+			return nil
+		}
+		return fmt.Errorf("wal: recover: unknown record %d", rec.Type)
+	})
+	if err != nil {
+		return nil, err
+	}
+	store.FinishRestore()
+	return store, nil
+}
+
+// Checkpoint writes a fresh snapshot of store into dir and truncates the
+// log. The order (snapshot first, truncate second) keeps every state
+// recoverable: a crash in between replays stale records, which Recover
+// skips.
+func Checkpoint(dir string, store *storage.Store, log *Log) error {
+	if err := WriteSnapshot(filepath.Join(dir, SnapshotFile), store); err != nil {
+		return err
+	}
+	return log.Truncate()
+}
+
+// Truncate discards all logged records. The caller must have captured
+// the state elsewhere (see Checkpoint).
+func (l *Log) Truncate() error {
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: truncate flush: %w", err)
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: truncate seek: %w", err)
+	}
+	l.w.Reset(l.f)
+	return nil
+}

@@ -1,0 +1,170 @@
+// Package wal provides crash-safe persistence for a relation extent: a
+// write-ahead log of insert/evict records plus full-store snapshots.
+//
+// The paper's decay laws mutate freshness continuously; logging every
+// freshness update would write more than the data itself. The WAL
+// therefore records only membership changes (inserts and evictions —
+// whether from rot or consume-on-query), and checkpoints capture exact
+// freshness and infection state. On recovery, tuples inserted after the
+// last checkpoint come back with full freshness; at most one checkpoint
+// interval of decay is lost, which only delays their rot. DESIGN.md
+// lists this bounded-staleness trade-off.
+//
+// Record framing: [length uint32][crc32c uint32][type byte][payload].
+// Replay stops cleanly at the first torn or corrupt record, which is the
+// expected state after a crash mid-append.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"fungusdb/internal/tuple"
+)
+
+// RecType tags WAL records.
+type RecType uint8
+
+// WAL record types.
+const (
+	RecInsert RecType = iota + 1
+	RecEvict
+)
+
+// Rec is one decoded WAL record.
+type Rec struct {
+	Type  RecType
+	Tuple tuple.Tuple // valid for RecInsert
+	ID    tuple.ID    // valid for RecEvict
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Log is an append-only WAL writer. It is not safe for concurrent use.
+type Log struct {
+	f   *os.File
+	w   *bufio.Writer
+	buf []byte
+}
+
+// Open opens (creating if needed) the log at path for appending.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	return &Log{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// AppendInsert logs the insertion of tp.
+func (l *Log) AppendInsert(tp tuple.Tuple) error {
+	l.buf = l.buf[:0]
+	l.buf = append(l.buf, byte(RecInsert))
+	l.buf = tuple.AppendEncode(l.buf, tp)
+	return l.appendFramed(l.buf)
+}
+
+// AppendEvict logs the eviction of id (rot or consume).
+func (l *Log) AppendEvict(id tuple.ID) error {
+	l.buf = l.buf[:0]
+	l.buf = append(l.buf, byte(RecEvict))
+	l.buf = binary.LittleEndian.AppendUint64(l.buf, uint64(id))
+	return l.appendFramed(l.buf)
+}
+
+func (l *Log) appendFramed(payload []byte) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes buffered records and fsyncs the file.
+func (l *Log) Sync() error {
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the log.
+func (l *Log) Close() error {
+	if err := l.w.Flush(); err != nil {
+		l.f.Close()
+		return fmt.Errorf("wal: flush on close: %w", err)
+	}
+	return l.f.Close()
+}
+
+// Replay reads records from path in order, invoking fn for each. A
+// missing file replays zero records. Replay stops without error at the
+// first torn or corrupt record (the crash tail); fn errors abort.
+func Replay(path string, fn func(Rec) error) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("wal: replay open: %w", err)
+	}
+	defer f.Close()
+
+	r := bufio.NewReader(f)
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil // clean EOF or torn header: stop
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		wantCRC := binary.LittleEndian.Uint32(hdr[4:8])
+		if length == 0 || length > 1<<28 {
+			return nil // implausible length: corrupt tail
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil // torn payload
+		}
+		if crc32.Checksum(payload, crcTable) != wantCRC {
+			return nil // corrupt record
+		}
+		rec, err := decodeRec(payload)
+		if err != nil {
+			return fmt.Errorf("wal: replay: %w", err)
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+}
+
+func decodeRec(payload []byte) (Rec, error) {
+	switch RecType(payload[0]) {
+	case RecInsert:
+		tp, _, err := tuple.Decode(payload[1:], nil)
+		if err != nil {
+			return Rec{}, fmt.Errorf("bad insert record: %w", err)
+		}
+		return Rec{Type: RecInsert, Tuple: tp}, nil
+	case RecEvict:
+		if len(payload) != 9 {
+			return Rec{}, fmt.Errorf("bad evict record length %d", len(payload))
+		}
+		return Rec{Type: RecEvict, ID: tuple.ID(binary.LittleEndian.Uint64(payload[1:]))}, nil
+	default:
+		return Rec{}, fmt.Errorf("unknown record type %d", payload[0])
+	}
+}

@@ -1,0 +1,331 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fungusdb/internal/storage"
+	"fungusdb/internal/tuple"
+)
+
+var walSchema = tuple.MustSchema(
+	tuple.Column{Name: "device", Kind: tuple.KindString},
+	tuple.Column{Name: "v", Kind: tuple.KindInt},
+)
+
+func row(device string, v int64) []tuple.Value {
+	return []tuple.Value{tuple.String_(device), tuple.Int(v)}
+}
+
+func TestLogAppendAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, LogFile)
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp1 := tuple.New(0, 5, row("a", 1))
+	tp2 := tuple.New(1, 6, row("b", 2))
+	tp2.F = 0.75
+	tp2.Infected = true
+	if err := l.AppendInsert(tp1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendInsert(tp2); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendEvict(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var recs []Rec
+	if err := Replay(path, func(r Rec) error {
+		recs = append(recs, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("replayed %d records, want 3", len(recs))
+	}
+	if recs[0].Type != RecInsert || recs[0].Tuple.ID != 0 {
+		t.Errorf("rec0 = %+v", recs[0])
+	}
+	if recs[1].Tuple.F != 0.75 || !recs[1].Tuple.Infected {
+		t.Errorf("rec1 lost decay state: %+v", recs[1].Tuple)
+	}
+	if recs[2].Type != RecEvict || recs[2].ID != 0 {
+		t.Errorf("rec2 = %+v", recs[2])
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	n := 0
+	err := Replay(filepath.Join(t.TempDir(), "nope.log"), func(Rec) error {
+		n++
+		return nil
+	})
+	if err != nil || n != 0 {
+		t.Errorf("missing file: err=%v n=%d", err, n)
+	}
+}
+
+func TestReplayStopsAtTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, LogFile)
+	l, _ := Open(path)
+	l.AppendInsert(tuple.New(0, 1, row("a", 1)))
+	l.AppendInsert(tuple.New(1, 1, row("b", 2)))
+	l.Close()
+
+	// Tear the last record: chop some trailing bytes.
+	data, _ := os.ReadFile(path)
+	os.WriteFile(path, data[:len(data)-5], 0o644)
+
+	var n int
+	if err := Replay(path, func(Rec) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("replayed %d records after tear, want 1", n)
+	}
+}
+
+func TestReplayStopsAtCorruptCRC(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, LogFile)
+	l, _ := Open(path)
+	l.AppendInsert(tuple.New(0, 1, row("a", 1)))
+	l.Close()
+
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 0xFF // flip a payload byte
+	os.WriteFile(path, data, 0o644)
+
+	var n int
+	if err := Replay(path, func(Rec) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("replayed %d corrupt records, want 0", n)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	src := storage.New(walSchema, storage.WithSegmentSize(4))
+	for i := 0; i < 10; i++ {
+		if _, err := src.Insert(3, row("dev", int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src.Evict(2)
+	src.Evict(3)
+	src.Update(5, func(tp *tuple.Tuple) { tp.F = 0.25; tp.Infected = true })
+
+	path := filepath.Join(dir, SnapshotFile)
+	if err := WriteSnapshot(path, src); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := storage.New(walSchema, storage.WithSegmentSize(4))
+	if err := LoadSnapshot(path, dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != src.Len() {
+		t.Fatalf("restored %d tuples, want %d", dst.Len(), src.Len())
+	}
+	got, err := dst.Get(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.F != 0.25 || !got.Infected {
+		t.Errorf("decay state lost: %+v", got)
+	}
+	if dst.Contains(2) || dst.Contains(3) {
+		t.Error("evicted tuples resurrected")
+	}
+	// Inserts after restore must not collide with restored IDs.
+	tp, err := dst.Insert(9, row("new", 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.ID < 10 {
+		t.Errorf("new insert reused ID %d", tp.ID)
+	}
+}
+
+func TestLoadSnapshotMissingFile(t *testing.T) {
+	dst := storage.New(walSchema)
+	if err := LoadSnapshot(filepath.Join(t.TempDir(), "none"), dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != 0 {
+		t.Error("loaded tuples from nothing")
+	}
+}
+
+func TestLoadSnapshotCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	src := storage.New(walSchema)
+	src.Insert(1, row("a", 1))
+	path := filepath.Join(dir, SnapshotFile)
+	if err := WriteSnapshot(path, src); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	data[len(data)-6] ^= 0x55
+	os.WriteFile(path, data, 0o644)
+	if err := LoadSnapshot(path, storage.New(walSchema)); err == nil {
+		t.Error("corrupt snapshot accepted")
+	}
+	// Bad magic.
+	data[0] = 'X'
+	os.WriteFile(path, data, 0o644)
+	if err := LoadSnapshot(path, storage.New(walSchema)); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestRecoverSnapshotPlusLog(t *testing.T) {
+	dir := t.TempDir()
+
+	// Phase 1: build a store, checkpoint it.
+	store := storage.New(walSchema, storage.WithSegmentSize(4))
+	log, err := Open(filepath.Join(dir, LogFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		tp, _ := store.Insert(1, row("pre", int64(i)))
+		log.AppendInsert(tp)
+	}
+	if err := Checkpoint(dir, store, log); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: more activity after the checkpoint.
+	tp6, _ := store.Insert(2, row("post", 6))
+	log.AppendInsert(tp6)
+	store.Evict(1)
+	log.AppendEvict(1)
+	if err := log.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	log.Close()
+
+	// Crash. Recover.
+	got, err := Recover(dir, walSchema, storage.WithSegmentSize(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != store.Len() {
+		t.Fatalf("recovered %d tuples, want %d", got.Len(), store.Len())
+	}
+	if got.Contains(1) {
+		t.Error("evicted tuple recovered")
+	}
+	if !got.Contains(6) {
+		t.Error("post-checkpoint insert lost")
+	}
+}
+
+func TestRecoverSkipsStaleRecords(t *testing.T) {
+	// Crash between snapshot rename and log truncation: the log still
+	// holds records already covered by the snapshot.
+	dir := t.TempDir()
+	store := storage.New(walSchema)
+	log, _ := Open(filepath.Join(dir, LogFile))
+	tp0, _ := store.Insert(1, row("a", 0))
+	log.AppendInsert(tp0)
+	tp1, _ := store.Insert(1, row("b", 1))
+	log.AppendInsert(tp1)
+	log.Sync()
+	// Snapshot written but log NOT truncated.
+	if err := WriteSnapshot(filepath.Join(dir, SnapshotFile), store); err != nil {
+		t.Fatal(err)
+	}
+	log.Close()
+
+	got, err := Recover(dir, walSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Errorf("recovered %d tuples, want 2 (no duplicates)", got.Len())
+	}
+}
+
+func TestRecoverEmptyDir(t *testing.T) {
+	got, err := Recover(t.TempDir(), walSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Error("recovered tuples from empty dir")
+	}
+}
+
+func TestTruncateAllowsNewRecords(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, LogFile)
+	l, _ := Open(path)
+	l.AppendInsert(tuple.New(0, 1, row("old", 1)))
+	if err := l.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	l.AppendInsert(tuple.New(7, 1, row("new", 2)))
+	l.Close()
+
+	var recs []Rec
+	Replay(path, func(r Rec) error { recs = append(recs, r); return nil })
+	if len(recs) != 1 || recs[0].Tuple.ID != 7 {
+		t.Errorf("after truncate replayed %+v", recs)
+	}
+}
+
+func TestRecoverSparseSnapshotSegmentsSealed(t *testing.T) {
+	// A snapshot whose tuples leave a whole segment dead must recover
+	// into a store where evicting the survivors drops their segments.
+	dir := t.TempDir()
+	store := storage.New(walSchema, storage.WithSegmentSize(2))
+	for i := 0; i < 6; i++ {
+		store.Insert(1, row("x", int64(i)))
+	}
+	store.Evict(2)
+	store.Evict(3) // segment 1 fully dead
+	store.Evict(5) // segment 2 half dead
+	if err := WriteSnapshot(filepath.Join(dir, SnapshotFile), store); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Recover(dir, walSchema, storage.WithSegmentSize(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", got.Len())
+	}
+	// Evict the survivors of segment 0; it must drop. Segment 2 is the
+	// open insert tail, so it stays.
+	for _, id := range []tuple.ID{0, 1, 4} {
+		if err := got.Evict(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := got.Stats(); st.SegsDropped != 1 {
+		t.Errorf("SegsDropped = %d, want 1", st.SegsDropped)
+	}
+	// The pre-crash allocation point survives: tuple 5 was evicted
+	// before the snapshot, and its ID must not be reused.
+	tp, err := got.Insert(2, row("fresh", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.ID < 6 {
+		t.Errorf("insert after recovery reused ID %d", tp.ID)
+	}
+}
