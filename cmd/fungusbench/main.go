@@ -23,9 +23,10 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (E1..E9) or 'all'")
 	scale := flag.Float64("scale", 1.0, "workload scale factor")
 	seed := flag.Int64("seed", 20150104, "deterministic seed")
+	shards := flag.Int("shards", 1, "extent shards per table (1 = pre-sharding engine)")
 	flag.Parse()
 
-	cfg := sim.Config{Scale: *scale, Seed: *seed}
+	cfg := sim.Config{Scale: *scale, Seed: *seed, Shards: *shards}
 
 	ids := sim.ExperimentIDs
 	if *exp != "all" {

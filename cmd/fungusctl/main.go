@@ -1,7 +1,7 @@
 // Command fungusctl is an interactive (and scriptable) shell over a
 // FungusDB instance. It reads commands from stdin, one per line:
 //
-//	create <table> <name KIND, ...> [fungus=egi|ttl|linear|none] [rate=F] [distill]
+//	create <table> <name KIND, ...> [fungus=egi|ttl|linear|none] [rate=F] [shards=N] [distill]
 //	insert <table> <v1> <v2> ...
 //	query  <table> peek|consume [into=<container>] [<where...>]
 //	tick   [n]
@@ -32,6 +32,8 @@ import (
 	"fungusdb/internal/tuple"
 	"fungusdb/internal/workload"
 )
+
+var defaultShards = flag.Int("shards", 1, "default shard count for created tables (create ... shards=N overrides)")
 
 func main() {
 	dir := flag.String("dir", "", "data directory (empty = in-memory)")
@@ -127,7 +129,7 @@ func (s *shell) exec(line string) error {
 }
 
 const helpText = `commands:
-  create <table> <name KIND, ...> [fungus=egi|ttl|linear|none] [rate=F] [distill]
+  create <table> <name KIND, ...> [fungus=egi|ttl|linear|none] [rate=F] [shards=N] [distill]
   insert <table> <v1> <v2> ...
   query  <table> peek|consume [into=<container>] [<where...>]
   tick   [n]
@@ -168,6 +170,7 @@ func (s *shell) load(args []string) error {
 	if err != nil {
 		if tbl, err = s.db.CreateTable(args[0], core.TableConfig{
 			Schema:  gen.Schema(),
+			Shards:  *defaultShards,
 			Persist: s.persist,
 		}); err != nil {
 			return err
@@ -176,10 +179,21 @@ func (s *shell) load(args []string) error {
 	} else if !tbl.Schema().Equal(gen.Schema()) {
 		return fmt.Errorf("table %s schema (%s) does not match workload (%s)", args[0], tbl.Schema(), gen.Schema())
 	}
-	for i := 0; i < n; i++ {
-		if _, err := tbl.Insert(gen.Next()); err != nil {
+	// Batched inserts: one shard-lock round per batch instead of per row.
+	const loadBatch = 1024
+	for done := 0; done < n; {
+		b := loadBatch
+		if rem := n - done; rem < b {
+			b = rem
+		}
+		rows := make([][]tuple.Value, b)
+		for i := range rows {
+			rows[i] = gen.Next()
+		}
+		if _, err := tbl.InsertBatch(rows); err != nil {
 			return err
 		}
+		done += b
 	}
 	fmt.Fprintf(s.out, "loaded %d %s rows into %s (extent %d)\n", n, args[1], args[0], tbl.Len())
 	return nil
@@ -265,7 +279,7 @@ func (s *shell) create(args []string, line string) error {
 
 	// Separate trailing option tokens from the schema spec.
 	rest := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(strings.TrimPrefix(line, "create")), name))
-	fungusName, rate, distill := "none", 0.05, false
+	fungusName, rate, distill, shards := "none", 0.05, false, *defaultShards
 	for {
 		idx := strings.LastIndex(rest, " ")
 		if idx < 0 {
@@ -283,6 +297,12 @@ func (s *shell) create(args []string, line string) error {
 				return fmt.Errorf("bad rate: %v", err)
 			}
 			rate = f
+		case strings.HasPrefix(tok, "shards="):
+			n, err := strconv.Atoi(strings.TrimPrefix(tok, "shards="))
+			if err != nil || n < 1 {
+				return fmt.Errorf("bad shards %q", strings.TrimPrefix(tok, "shards="))
+			}
+			shards = n
 		default:
 			idx = -1
 		}
@@ -312,6 +332,7 @@ func (s *shell) create(args []string, line string) error {
 	_, err = s.db.CreateTable(name, core.TableConfig{
 		Schema:       schema,
 		Fungus:       f,
+		Shards:       shards,
 		DistillOnRot: distill,
 		Persist:      s.persist,
 	})

@@ -6,7 +6,7 @@
 //
 //	fungussim [-fungus egi|ttl|linear|exponential|none] [-tuples N]
 //	          [-ticks N] [-ingest N] [-report N] [-distill]
-//	          [-seeds N] [-rate F] [-seed N]
+//	          [-seeds N] [-rate F] [-seed N] [-shards N]
 //
 // With -ingest > 0 the simulation keeps inserting rows per tick, so the
 // steady state between ingestion and rot is visible; otherwise a single
@@ -33,6 +33,7 @@ func main() {
 	seeds := flag.Int("seeds", 2, "EGI seeds per tick")
 	rate := flag.Float64("rate", 0.05, "decay rate / TTL uses 1/rate ticks lifetime")
 	seed := flag.Int64("seed", 20150104, "deterministic seed")
+	shards := flag.Int("shards", 1, "extent shards (parallel decay/scan)")
 	flag.Parse()
 
 	var f fungus.Fungus
@@ -61,6 +62,7 @@ func main() {
 	tbl, err := db.CreateTable("iot", core.TableConfig{
 		Schema:       gen.Schema(),
 		Fungus:       f,
+		Shards:       *shards,
 		DistillOnRot: *distill,
 	})
 	if err != nil {

@@ -1,0 +1,3 @@
+module fungusdb
+
+go 1.22

@@ -132,21 +132,33 @@ func (m predMatcher) Match(tp *tuple.Tuple) (bool, error) { return m.p.Match(tp)
 
 // TableSpec declaratively describes one table.
 type TableSpec struct {
-	Name              string      `json:"name"`
-	Schema            string      `json:"schema"` // tuple.ParseSchema format
-	Fungus            *FungusSpec `json:"fungus,omitempty"`
-	SegmentSize       int         `json:"segment_size,omitempty"`
-	TickEvery         int         `json:"tick_every,omitempty"`
-	TouchOnRead       bool        `json:"touch_on_read,omitempty"`
-	DistillOnRot      bool        `json:"distill_on_rot,omitempty"`
-	ContainerHalfLife float64     `json:"container_half_life,omitempty"`
-	CheckpointEvery   int         `json:"checkpoint_every,omitempty"`
+	Name   string      `json:"name"`
+	Schema string      `json:"schema"` // tuple.ParseSchema format
+	Fungus *FungusSpec `json:"fungus,omitempty"`
+	// Shards splits the extent into this many independently locked,
+	// independently decaying shards (0 and 1 both mean unsharded). The
+	// shard count may change across restarts: recovery re-routes every
+	// tuple to its owner by ID.
+	Shards            int     `json:"shards,omitempty"`
+	SegmentSize       int     `json:"segment_size,omitempty"`
+	TickEvery         int     `json:"tick_every,omitempty"`
+	TouchOnRead       bool    `json:"touch_on_read,omitempty"`
+	DistillOnRot      bool    `json:"distill_on_rot,omitempty"`
+	ContainerHalfLife float64 `json:"container_half_life,omitempty"`
+	CheckpointEvery   int     `json:"checkpoint_every,omitempty"`
 }
+
+// MaxShards bounds TableSpec.Shards: beyond the core count per-shard
+// extents stop buying parallelism and only fragment the time axis.
+const MaxShards = 1024
 
 // Validate checks the spec without building anything.
 func (s *TableSpec) Validate() error {
 	if s.Name == "" {
 		return errors.New("catalog: table spec needs a name")
+	}
+	if s.Shards < 0 || s.Shards > MaxShards {
+		return fmt.Errorf("catalog: table %q: shards must be in [0, %d]", s.Name, MaxShards)
 	}
 	schema, err := tuple.ParseSchema(s.Schema)
 	if err != nil {

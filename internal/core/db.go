@@ -18,9 +18,9 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -41,6 +41,12 @@ type DBConfig struct {
 	// (each table gets a subdirectory). Empty keeps everything in
 	// memory.
 	Dir string
+	// Workers bounds EACH fan-out level: DB.Tick runs at most Workers
+	// tables at once, and every table fans its shards out over at most
+	// Workers goroutines of its own — nested ticks can therefore run up
+	// to Workers^2 goroutines briefly. 0 means GOMAXPROCS; 1 forces the
+	// fully serial engine.
+	Workers int
 }
 
 // DB is a FungusDB instance.
@@ -61,6 +67,9 @@ type DB struct {
 func Open(cfg DBConfig) (*DB, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.NewVirtual(0)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	db := &DB{
 		cfg:    cfg,
@@ -122,6 +131,7 @@ func (db *DB) createFromSpec(spec catalog.TableSpec) (*Table, error) {
 	return db.CreateTable(spec.Name, TableConfig{
 		Schema:            schema,
 		Fungus:            f,
+		Shards:            spec.Shards,
 		SegmentSize:       spec.SegmentSize,
 		TickEvery:         spec.TickEvery,
 		TouchOnRead:       spec.TouchOnRead,
@@ -163,13 +173,14 @@ func (db *DB) CreateTable(name string, cfg TableConfig) (*Table, error) {
 			return nil, fmt.Errorf("core: table dir: %w", err)
 		}
 	}
-	// Per-table RNG derived from the DB seed and the table name, so
-	// adding a table never perturbs another table's randomness.
+	// Per-table seed derived from the DB seed and the table name, so
+	// adding a table never perturbs another table's randomness; the
+	// table derives one RNG stream per shard from it.
 	seed := db.cfg.Seed
 	for _, r := range name {
 		seed = seed*1099511628211 + int64(r)
 	}
-	t, err := newTable(name, cfg, db.clk, rand.New(rand.NewSource(seed)), dir)
+	t, err := newTable(name, cfg, db.clk, seed, dir, db.cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -232,7 +243,10 @@ type TickReport struct {
 }
 
 // Tick advances the clock one cycle (when it is an Advancer) and applies
-// every table's fungus, distillation and container decay.
+// every table's fungus, distillation and container decay. Tables decay
+// concurrently over the worker pool (each table further fans out over
+// its shards); the report is assembled in sorted table order, so the
+// output is deterministic regardless of scheduling.
 func (db *DB) Tick() (TickReport, error) {
 	db.mu.Lock()
 	if adv, ok := db.clk.(clock.Advancer); ok {
@@ -242,18 +256,27 @@ func (db *DB) Tick() (TickReport, error) {
 	for _, t := range db.tables {
 		tables = append(tables, t)
 	}
+	workers := db.cfg.Workers
 	db.mu.Unlock()
 	sort.Slice(tables, func(i, j int) bool { return tables[i].name < tables[j].name })
 
 	rep := TickReport{Now: db.clk.Now(), PerTable: make(map[string]TableTickReport, len(tables))}
-	for _, t := range tables {
-		tr, err := t.Tick()
+	reps := make([]TableTickReport, len(tables))
+	err := fanOut(len(tables), workers, func(i int) error {
+		tr, err := tables[i].Tick()
 		if err != nil {
-			return rep, fmt.Errorf("core: tick table %q: %w", t.name, err)
+			return fmt.Errorf("core: tick table %q: %w", tables[i].name, err)
 		}
-		rep.PerTable[t.name] = tr
-		rep.TotalRot += tr.Rotted
-		rep.TotalLive += tr.Live
+		reps[i] = tr
+		return nil
+	})
+	for i, t := range tables {
+		rep.PerTable[t.name] = reps[i]
+		rep.TotalRot += reps[i].Rotted
+		rep.TotalLive += reps[i].Live
+	}
+	if err != nil {
+		return rep, err
 	}
 	return rep, nil
 }

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// fanOut runs fn(0..n-1) over a bounded pool of at most `workers`
+// goroutines and waits for all of them. Every index runs even when an
+// earlier one fails; the error returned is the lowest-index one, so
+// error selection is deterministic regardless of scheduling. With one
+// worker (or one item) everything runs inline on the caller's
+// goroutine — a one-shard table pays no synchronisation at all.
+func fanOut(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		// Same contract as the pooled path: every index runs, lowest-
+		// index error wins — which work completes must not depend on
+		// the worker count.
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// lockedSource serialises a rand.Source64 so one *rand.Rand can be
+// shared by shard 0's fungus and the table's knowledge shelf without
+// racing. Single-threaded draw sequences are identical to the unlocked
+// source, which is what keeps seeded experiment output byte-identical
+// to the pre-sharding engine at shards=1.
+type lockedSource struct {
+	mu  sync.Mutex
+	src rand.Source64
+}
+
+func newLockedSource(seed int64) *lockedSource {
+	return &lockedSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (s *lockedSource) Int63() int64 {
+	s.mu.Lock()
+	v := s.src.Int63()
+	s.mu.Unlock()
+	return v
+}
+
+func (s *lockedSource) Uint64() uint64 {
+	s.mu.Lock()
+	v := s.src.Uint64()
+	s.mu.Unlock()
+	return v
+}
+
+func (s *lockedSource) Seed(seed int64) {
+	s.mu.Lock()
+	s.src.Seed(seed)
+	s.mu.Unlock()
+}

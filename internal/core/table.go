@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"fungusdb/internal/clock"
 	"fungusdb/internal/container"
@@ -24,8 +25,16 @@ type TableConfig struct {
 	// Schema is the user-attribute schema (required).
 	Schema *tuple.Schema
 	// Fungus is the decay law applied each tick. Nil means fungus.Null
-	// (the unbounded fridge).
+	// (the unbounded fridge). With Shards > 1 the law is instantiated
+	// per shard via fungus.ForShard: stateful fungi (EGI) get one
+	// instance per shard with the infection front scoped to that shard,
+	// quotas are divided, and everything else is shared.
 	Fungus fungus.Fungus
+	// Shards splits the extent into this many hash/ID-residue shards,
+	// each with its own store, lock, fungus instance and RNG stream, so
+	// decay and scans parallelise across cores. 0 and 1 both mean one
+	// shard, which behaves exactly like the pre-sharding engine.
+	Shards int
 	// TickEvery is the table's decay period T: the fungus runs on every
 	// TickEvery-th engine tick (0 and 1 both mean every tick). The
 	// paper's clock is per-relation — "the extent of table R decays
@@ -60,61 +69,92 @@ type TableTickReport struct {
 	ContainersDiscarded []string
 }
 
-// Table is one relation: extent, fungus, knowledge shelf, counters, and
-// optional persistence. All methods are safe for concurrent use.
+// Table is one relation: a sharded extent, one fungus instance and RNG
+// stream per shard, a knowledge shelf, counters, and optional
+// persistence. All methods are safe for concurrent use.
+//
+// Locking model: shardMu[i] guards shard i's store, fungus and RNG;
+// compound operations (a decay tick, a consume query) hold it for
+// their whole critical section, so readers never observe half-applied
+// laws. Cross-shard operations acquire shard locks in ascending index
+// order. mu guards table metadata (counters, checkpoint scheduling)
+// and orders shelf absorption; it is only ever acquired after shard
+// locks, never before one. WAL appends happen under the owning shard's
+// lock, which is what keeps each shard's record sequence monotonic for
+// recovery.
 type Table struct {
-	mu    sync.Mutex
-	name  string
-	cfg   TableConfig
-	clk   clock.Clock
-	rng   *rand.Rand
-	store *storage.Store
-	fng   fungus.Fungus
-	shelf *container.Shelf
-	ctrs  metrics.Counters
+	name    string
+	cfg     TableConfig
+	clk     clock.Clock
+	store   *storage.ShardedStore
+	shardMu []sync.RWMutex
+	fngs    []fungus.Fungus // one per shard; fngs[0] may be the caller's instance
+	rngs    []*rand.Rand    // one per shard; rngs[0] shares its source with the shelf
+	rotBufs [][]tuple.ID    // per-shard scratch, reused across ticks
+	shelf   *container.Shelf
+	workers int
 
-	dir       string
-	log       *wal.Log
+	mu        sync.Mutex // metadata: counters, mutations; orders shelf absorbs
+	ctrs      metrics.Counters
 	mutations int
-	closed    bool
 
-	rotBuf []tuple.ID // reused across ticks
+	dir    string
+	log    *wal.Log
+	closed atomic.Bool
 }
 
-func newTable(name string, cfg TableConfig, clk clock.Clock, rng *rand.Rand, dir string) (*Table, error) {
+func newTable(name string, cfg TableConfig, clk clock.Clock, seed int64, dir string, workers int) (*Table, error) {
 	if cfg.Fungus == nil {
 		cfg.Fungus = fungus.Null{}
 	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
 	if cfg.Digest == (container.DigestConfig{}) {
 		cfg.Digest = container.DefaultDigestConfig()
+	}
+	if workers < 1 {
+		workers = 1
 	}
 	var opts []storage.Option
 	if cfg.SegmentSize > 0 {
 		opts = append(opts, storage.WithSegmentSize(cfg.SegmentSize))
 	}
+	n := cfg.Shards
 	t := &Table{
-		name: name,
-		cfg:  cfg,
-		clk:  clk,
-		rng:  rng,
-		fng:  cfg.Fungus,
-		dir:  dir,
+		name:    name,
+		cfg:     cfg,
+		clk:     clk,
+		shardMu: make([]sync.RWMutex, n),
+		fngs:    make([]fungus.Fungus, n),
+		rngs:    make([]*rand.Rand, n),
+		rotBufs: make([][]tuple.ID, n),
+		workers: workers,
+		dir:     dir,
 	}
+	// Shard 0 draws from the table stream (shared with the shelf, via a
+	// locked source); shard i > 0 gets its own stream derived from
+	// (table seed, shard index). One-shard tables therefore reproduce
+	// the pre-sharding engine bit for bit.
+	t.rngs[0] = rand.New(newLockedSource(seed))
+	for i := 1; i < n; i++ {
+		t.rngs[i] = rand.New(rand.NewSource(seed*1099511628211 + int64(i)))
+	}
+	for i := 0; i < n; i++ {
+		t.fngs[i] = fungus.ForShard(cfg.Fungus, i, n)
+	}
+	t.store = storage.NewSharded(cfg.Schema, n, opts...)
 	if dir != "" {
-		store, err := wal.Recover(dir, cfg.Schema, opts...)
-		if err != nil {
+		if err := wal.RecoverInto(dir, t.store); err != nil {
 			return nil, fmt.Errorf("core: recover table %q: %w", name, err)
 		}
-		t.store = store
 		log, err := wal.Open(walPath(dir))
 		if err != nil {
 			return nil, err
 		}
 		t.log = log
-	} else {
-		t.store = storage.New(cfg.Schema, opts...)
 	}
-	t.shelf = container.NewShelf(cfg.Schema, cfg.Digest, rng)
+	t.shelf = container.NewShelf(cfg.Schema, cfg.Digest, t.rngs[0])
 	return t, nil
 }
 
@@ -126,20 +166,47 @@ func (t *Table) Name() string { return t.name }
 // Schema returns the table schema.
 func (t *Table) Schema() *tuple.Schema { return t.cfg.Schema }
 
+// Shards returns the shard count.
+func (t *Table) Shards() int { return t.store.NumShards() }
+
 // Shelf returns the table's knowledge containers.
 func (t *Table) Shelf() *container.Shelf { return t.shelf }
 
+func (t *Table) lockAll() {
+	for i := range t.shardMu {
+		t.shardMu[i].Lock()
+	}
+}
+
+func (t *Table) unlockAll() {
+	for i := len(t.shardMu) - 1; i >= 0; i-- {
+		t.shardMu[i].Unlock()
+	}
+}
+
+func (t *Table) rlockAll() {
+	for i := range t.shardMu {
+		t.shardMu[i].RLock()
+	}
+}
+
+func (t *Table) runlockAll() {
+	for i := len(t.shardMu) - 1; i >= 0; i-- {
+		t.shardMu[i].RUnlock()
+	}
+}
+
 // Len returns the live tuple count.
 func (t *Table) Len() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.rlockAll()
+	defer t.runlockAll()
 	return t.store.Len()
 }
 
 // Bytes returns the approximate live extent size.
 func (t *Table) Bytes() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.rlockAll()
+	defer t.runlockAll()
 	return t.store.Bytes()
 }
 
@@ -150,48 +217,147 @@ func (t *Table) Counters() metrics.Counters {
 	return t.ctrs
 }
 
-// StoreStats returns a snapshot of extent storage statistics.
+// StoreStats returns a snapshot of extent storage statistics,
+// aggregated over the shards.
 func (t *Table) StoreStats() storage.Stats {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.rlockAll()
+	defer t.runlockAll()
 	return t.store.Stats()
 }
 
 // Profile returns the freshness profile of the extent.
 func (t *Table) Profile() metrics.FreshnessProfile {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.rlockAll()
+	defer t.runlockAll()
 	return metrics.Profile(t.store)
 }
 
-// TimeSeries profiles the extent in n insertion-order buckets.
+// TimeSeries profiles the extent in n insertion-order buckets, merged
+// across shards on the global time axis.
 func (t *Table) TimeSeries(n int) []metrics.TimeBucket {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.rlockAll()
+	defer t.runlockAll()
 	return metrics.TimeSeries(t.store, n)
 }
 
-// Insert appends one tuple with full freshness at the current tick.
+// errClosed is the uniform mutation-after-Close error.
+func (t *Table) errClosed() error { return fmt.Errorf("core: table %q is closed", t.name) }
+
+// Insert appends one tuple with full freshness at the current tick. The
+// tuple lands on the next shard in the round-robin rotation; only that
+// shard's lock is taken, so inserts scale across shards.
 func (t *Table) Insert(attrs []tuple.Value) (tuple.Tuple, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.closed {
-		return tuple.Tuple{}, fmt.Errorf("core: table %q is closed", t.name)
+	// Validate before claiming a rotation slot: a rejected row must not
+	// burn a shard turn, or later tuples would take IDs out of arrival
+	// order on the time axis.
+	if err := t.cfg.Schema.Validate(attrs); err != nil {
+		return tuple.Tuple{}, err
 	}
-	tp, err := t.store.Insert(t.clk.Now(), attrs)
+	if t.closed.Load() {
+		return tuple.Tuple{}, t.errClosed()
+	}
+	now := t.clk.Now()
+	i := t.store.NextShard()
+	t.shardMu[i].Lock()
+	if t.closed.Load() {
+		t.shardMu[i].Unlock()
+		return tuple.Tuple{}, t.errClosed()
+	}
+	tp, err := t.store.InsertShard(i, now, attrs)
+	inStore := err == nil
+	if err == nil && t.log != nil {
+		err = t.log.AppendInsert(tp)
+	}
+	t.shardMu[i].Unlock()
+	// Count every tuple that reached the store, even when logging it
+	// failed afterwards — the tuple is live, and the conservation
+	// invariant (inserted == live + rotted + consumed) must hold.
+	if inStore {
+		t.mu.Lock()
+		t.ctrs.Inserted++
+		due := t.noteMutationLocked(1)
+		t.mu.Unlock()
+		if err == nil && due {
+			err = t.Checkpoint()
+		}
+	}
 	if err != nil {
 		return tuple.Tuple{}, err
 	}
-	t.ctrs.Inserted++
-	if t.log != nil {
-		if err := t.log.AppendInsert(tp); err != nil {
-			return tuple.Tuple{}, err
-		}
-		if err := t.maybeCheckpointLocked(); err != nil {
-			return tuple.Tuple{}, err
+	return tp, nil
+}
+
+// InsertBatch appends a batch of rows, grouping them by destination
+// shard so each shard's lock is taken once per batch instead of once
+// per row, and the shard groups insert in parallel. Rows are dealt
+// round-robin from the current rotation point, so a single-threaded
+// batch gets the same IDs row-at-a-time Insert would have assigned. It
+// returns one tuple per row, in row order. On error the batch may be
+// partially applied (the error names the first failing shard group);
+// returned tuples of failed rows are zero-valued.
+func (t *Table) InsertBatch(rows [][]tuple.Value) ([]tuple.Tuple, error) {
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	// Validate every row before dealing rotation slots (see Insert).
+	for r, row := range rows {
+		if err := t.cfg.Schema.Validate(row); err != nil {
+			return nil, fmt.Errorf("core: batch row %d: %w", r, err)
 		}
 	}
-	return tp, nil
+	if t.closed.Load() {
+		return nil, t.errClosed()
+	}
+	now := t.clk.Now()
+	n := t.store.NumShards()
+	// Deal the batch round-robin, preserving global arrival order.
+	groups := make([][]int, n)
+	for r := range rows {
+		i := t.store.NextShard()
+		groups[i] = append(groups[i], r)
+	}
+	results := make([]tuple.Tuple, len(rows))
+	var inserted atomic.Int64
+	err := fanOut(n, t.workers, func(i int) error {
+		if len(groups[i]) == 0 {
+			return nil
+		}
+		t.shardMu[i].Lock()
+		defer t.shardMu[i].Unlock()
+		if t.closed.Load() {
+			return t.errClosed()
+		}
+		for _, r := range groups[i] {
+			tp, err := t.store.InsertShard(i, now, rows[r])
+			if err != nil {
+				return err
+			}
+			// Count before logging: a tuple that reached the store is
+			// live and must be reflected in the conservation counters
+			// even if its WAL append fails.
+			results[r] = tp
+			inserted.Add(1)
+			if t.log != nil {
+				if err := t.log.AppendInsert(tp); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	t.mu.Lock()
+	t.ctrs.Inserted += uint64(inserted.Load())
+	due := t.noteMutationLocked(int(inserted.Load()))
+	t.mu.Unlock()
+	if err != nil {
+		return results, err
+	}
+	if due {
+		if err := t.Checkpoint(); err != nil {
+			return results, err
+		}
+	}
+	return results, nil
 }
 
 // Compile prepares a predicate against this table's schema. Compiled
@@ -223,22 +389,31 @@ func (t *Table) Query(where string, mode query.Mode, opts ...QueryOpts) (*query.
 	return t.QueryPred(pred, mode, opts...)
 }
 
-// QueryPred is Query with a pre-compiled predicate.
+// QueryPred is Query with a pre-compiled predicate. Peek queries scan
+// the shards in parallel and merge the partial answers back into
+// global insertion order; Consume queries hold every shard lock so the
+// answer-and-discard step is one atomic cut across the whole extent.
 func (t *Table) QueryPred(pred *query.Predicate, mode query.Mode, opts ...QueryOpts) (*query.Result, error) {
 	var opt QueryOpts
 	if len(opts) > 0 {
 		opt = opts[0]
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.closed {
-		return nil, fmt.Errorf("core: table %q is closed", t.name)
+	if t.closed.Load() {
+		return nil, t.errClosed()
 	}
+	if mode == query.Consume {
+		return t.consumeQuery(pred, opt)
+	}
+	return t.peekQuery(pred, opt)
+}
 
-	res := &query.Result{Schema: t.cfg.Schema, Mode: mode}
+// scanShardMatches collects up to limit clones of the tuples in shard i
+// matching pred. The caller holds shard i's lock (read suffices).
+func (t *Table) scanShardMatches(i int, pred *query.Predicate, limit int, scanned *int) ([]tuple.Tuple, error) {
+	var out []tuple.Tuple
 	var matchErr error
-	t.store.Scan(func(tp *tuple.Tuple) bool {
-		res.Scanned++
+	t.store.ScanShard(i, func(tp *tuple.Tuple) bool {
+		*scanned++
 		ok, err := pred.Match(tp)
 		if err != nil {
 			matchErr = err
@@ -247,56 +422,189 @@ func (t *Table) QueryPred(pred *query.Predicate, mode query.Mode, opts ...QueryO
 		if !ok {
 			return true
 		}
-		res.Tuples = append(res.Tuples, tp.Clone())
-		return opt.Limit == 0 || len(res.Tuples) < opt.Limit
+		out = append(out, tp.Clone())
+		return limit == 0 || len(out) < limit
 	})
-	if matchErr != nil {
-		return nil, matchErr
+	return out, matchErr
+}
+
+// mergeByID k-way merges per-shard answer sets (each ID-ascending) into
+// global insertion order, truncating to limit when limit > 0.
+func mergeByID(parts [][]tuple.Tuple, limit int) []tuple.Tuple {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
 	}
+	if limit > 0 && total > limit {
+		total = limit
+	}
+	if len(parts) == 1 {
+		return parts[0][:total]
+	}
+	out := make([]tuple.Tuple, 0, total)
+	idx := make([]int, len(parts))
+	for len(out) < total {
+		best := -1
+		for i, p := range parts {
+			if idx[i] < len(p) && (best < 0 || p[idx[i]].ID < parts[best][idx[best]].ID) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out = append(out, parts[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}
+
+func (t *Table) peekQuery(pred *query.Predicate, opt QueryOpts) (*query.Result, error) {
+	n := t.store.NumShards()
+	parts := make([][]tuple.Tuple, n)
+	scanned := make([]int, n)
+	err := fanOut(n, t.workers, func(i int) error {
+		t.shardMu[i].RLock()
+		defer t.shardMu[i].RUnlock()
+		var err error
+		parts[i], err = t.scanShardMatches(i, pred, opt.Limit, &scanned[i])
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &query.Result{Schema: t.cfg.Schema, Mode: query.Peek}
+	for _, s := range scanned {
+		res.Scanned += s
+	}
+	res.Tuples = mergeByID(parts, opt.Limit)
+
+	if t.cfg.TouchOnRead && len(res.Tuples) > 0 {
+		t.touchAnswered(res.Tuples)
+	}
+
+	t.mu.Lock()
 	t.ctrs.Queries++
+	t.mu.Unlock()
 
 	if opt.Distill != "" && len(res.Tuples) > 0 {
-		if err := t.shelf.Absorb(opt.Distill, t.clk.Now(), t.cfg.ContainerHalfLife, res.Tuples); err != nil {
+		t.mu.Lock()
+		err := t.shelf.Absorb(opt.Distill, t.clk.Now(), t.cfg.ContainerHalfLife, res.Tuples)
+		t.mu.Unlock()
+		if err != nil {
 			return nil, err
-		}
-		if mode == query.Consume {
-			t.ctrs.DistilledQuery += uint64(len(res.Tuples))
-		}
-	}
-
-	switch mode {
-	case query.Consume:
-		for i := range res.Tuples {
-			id := res.Tuples[i].ID
-			if err := t.store.Evict(id); err != nil {
-				return nil, fmt.Errorf("core: consume evict: %w", err)
-			}
-			if egi, ok := t.fng.(*fungus.EGI); ok {
-				egi.Forget(id)
-			}
-			if t.log != nil {
-				if err := t.log.AppendEvict(id); err != nil {
-					return nil, err
-				}
-			}
-		}
-		t.ctrs.Consumed += uint64(len(res.Tuples))
-		if t.log != nil {
-			if err := t.maybeCheckpointLocked(); err != nil {
-				return nil, err
-			}
-		}
-	case query.Peek:
-		if t.cfg.TouchOnRead {
-			if r, ok := t.fng.(fungus.Refresher); ok {
-				now := t.clk.Now()
-				for i := range res.Tuples {
-					r.Touch(now, t.store, res.Tuples[i].ID)
-				}
-			}
 		}
 	}
 	return res, nil
+}
+
+// touchAnswered refreshes the answered tuples, shard by shard, through
+// each shard's own fungus instance ("data being taken care of by its
+// owner"). Tuples consumed or rotted since the scan are skipped by the
+// refresher's own not-found handling.
+func (t *Table) touchAnswered(answered []tuple.Tuple) {
+	n := t.store.NumShards()
+	byShard := make([][]tuple.ID, n)
+	for i := range answered {
+		s := t.store.ShardOf(answered[i].ID)
+		byShard[s] = append(byShard[s], answered[i].ID)
+	}
+	now := t.clk.Now()
+	_ = fanOut(n, t.workers, func(i int) error {
+		if len(byShard[i]) == 0 {
+			return nil
+		}
+		r, ok := t.fngs[i].(fungus.Refresher)
+		if !ok {
+			return nil
+		}
+		t.shardMu[i].Lock()
+		defer t.shardMu[i].Unlock()
+		for _, id := range byShard[i] {
+			r.Touch(now, t.store.Shard(i), id)
+		}
+		return nil
+	})
+}
+
+func (t *Table) consumeQuery(pred *query.Predicate, opt QueryOpts) (*query.Result, error) {
+	res, due, err := t.consumeLocked(pred, opt)
+	if err != nil {
+		return nil, err
+	}
+	if due {
+		// Checkpoint re-acquires every shard lock, so it runs after
+		// consumeLocked released them.
+		if err := t.Checkpoint(); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// consumeLocked is the all-shards critical section of a consume query:
+// one atomic answer-and-discard cut across the whole extent. It reports
+// whether a checkpoint fell due.
+func (t *Table) consumeLocked(pred *query.Predicate, opt QueryOpts) (*query.Result, bool, error) {
+	n := t.store.NumShards()
+	t.lockAll()
+	defer t.unlockAll()
+	if t.closed.Load() {
+		return nil, false, t.errClosed()
+	}
+
+	parts := make([][]tuple.Tuple, n)
+	scanned := make([]int, n)
+	err := fanOut(n, t.workers, func(i int) error {
+		var err error
+		parts[i], err = t.scanShardMatches(i, pred, opt.Limit, &scanned[i])
+		return err
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	res := &query.Result{Schema: t.cfg.Schema, Mode: query.Consume}
+	for _, s := range scanned {
+		res.Scanned += s
+	}
+	res.Tuples = mergeByID(parts, opt.Limit)
+
+	t.mu.Lock()
+	t.ctrs.Queries++
+	t.mu.Unlock()
+
+	if opt.Distill != "" && len(res.Tuples) > 0 {
+		t.mu.Lock()
+		err := t.shelf.Absorb(opt.Distill, t.clk.Now(), t.cfg.ContainerHalfLife, res.Tuples)
+		if err == nil {
+			t.ctrs.DistilledQuery += uint64(len(res.Tuples))
+		}
+		t.mu.Unlock()
+		if err != nil {
+			return nil, false, err
+		}
+	}
+
+	for i := range res.Tuples {
+		id := res.Tuples[i].ID
+		s := t.store.ShardOf(id)
+		if err := t.store.Shard(s).Evict(id); err != nil {
+			return nil, false, fmt.Errorf("core: consume evict: %w", err)
+		}
+		if egi, ok := t.fngs[s].(*fungus.EGI); ok {
+			egi.Forget(id)
+		}
+		if t.log != nil {
+			if err := t.log.AppendEvict(id); err != nil {
+				return nil, false, err
+			}
+		}
+	}
+	t.mu.Lock()
+	t.ctrs.Consumed += uint64(len(res.Tuples))
+	due := t.noteMutationLocked(1)
+	t.mu.Unlock()
+	return res, due, nil
 }
 
 // SQL parses and executes a SELECT statement against this table:
@@ -308,6 +616,11 @@ func (t *Table) QueryPred(pred *query.Predicate, mode query.Mode, opts ...QueryO
 // WHERE clause matches (the whole matching set leaves the extent, even
 // when LIMIT truncates the output grid). An optional QueryOpts lets the
 // caller distill the consumed set into a container.
+//
+// Aggregate/GROUP BY peeks run the distributed path: each shard folds
+// its matches into a partial query.Aggregator in parallel and the
+// partials merge in shard order, so grouped analytics never
+// materialise the matching tuples.
 func (t *Table) SQL(src string, opts ...QueryOpts) (*query.Grid, error) {
 	stmt, err := query.ParseSelect(src)
 	if err != nil {
@@ -320,6 +633,21 @@ func (t *Table) SQL(src string, opts ...QueryOpts) (*query.Grid, error) {
 	if err != nil {
 		return nil, err
 	}
+	var opt QueryOpts
+	if len(opts) > 0 {
+		opt = opts[0]
+	}
+	// The distributed aggregate path sees every match, so it only
+	// applies when nothing needs the materialised tuple set: no consume
+	// semantics, no distillation, no touch-on-read, and no programmatic
+	// answer-set cap (QueryOpts.Limit bounds the tuples aggregated,
+	// unlike the SQL LIMIT, which caps output rows and is handled by
+	// the aggregator itself).
+	if !stmt.Consume && opt.Distill == "" && !t.cfg.TouchOnRead && opt.Limit == 0 {
+		if aggregated, err := query.Aggregated(stmt, t.cfg.Schema); err == nil && aggregated {
+			return t.aggregateQuery(stmt, pred)
+		}
+	}
 	mode := query.Peek
 	if stmt.Consume {
 		mode = query.Consume
@@ -331,114 +659,234 @@ func (t *Table) SQL(src string, opts ...QueryOpts) (*query.Grid, error) {
 	return query.Execute(stmt, t.cfg.Schema, res.Tuples)
 }
 
-// Tick applies one decay cycle: the fungus runs, rotting tuples are
-// distilled (when configured) and evicted, and the container shelf
-// decays one step.
-func (t *Table) Tick() (TableTickReport, error) {
+// aggregateQuery evaluates an aggregate/GROUP BY peek without
+// materialising matches: one partial aggregator per shard, fed during
+// the parallel scan, merged in ascending shard order (deterministic for
+// a fixed shard count).
+func (t *Table) aggregateQuery(stmt *query.SelectStmt, pred *query.Predicate) (*query.Grid, error) {
+	if t.closed.Load() {
+		return nil, t.errClosed()
+	}
+	n := t.store.NumShards()
+	// Validate the statement once; each shard scans into a cheap fork.
+	base, err := query.NewAggregator(stmt, t.cfg.Schema)
+	if err != nil {
+		return nil, err
+	}
+	aggs := make([]*query.Aggregator, n)
+	err = fanOut(n, t.workers, func(i int) error {
+		agg := base.Fork()
+		t.shardMu[i].RLock()
+		defer t.shardMu[i].RUnlock()
+		var innerErr error
+		t.store.ScanShard(i, func(tp *tuple.Tuple) bool {
+			ok, err := pred.Match(tp)
+			if err != nil {
+				innerErr = err
+				return false
+			}
+			if ok {
+				if err := agg.Feed(tp); err != nil {
+					innerErr = err
+					return false
+				}
+			}
+			return true
+		})
+		aggs[i] = agg
+		return innerErr
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < n; i++ {
+		if err := aggs[0].Merge(aggs[i]); err != nil {
+			return nil, err
+		}
+	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.closed {
-		return TableTickReport{}, fmt.Errorf("core: table %q is closed", t.name)
+	t.ctrs.Queries++
+	t.mu.Unlock()
+	return aggs[0].Grid()
+}
+
+// Tick applies one decay cycle: every shard's fungus runs (in parallel
+// across the worker pool), rotting tuples are distilled (when
+// configured) and evicted under their shard's lock, and the container
+// shelf decays one step.
+func (t *Table) Tick() (TableTickReport, error) {
+	if t.closed.Load() {
+		return TableTickReport{}, t.errClosed()
 	}
 	now := t.clk.Now()
+	// Claim this tick's ordinal and decide the TickEvery gate in one
+	// critical section, so concurrent Tick calls each get a distinct
+	// ordinal and the fungus runs exactly once per decay period.
+	t.mu.Lock()
+	t.ctrs.Ticks++
+	runFungus := t.cfg.TickEvery <= 1 || t.ctrs.Ticks%uint64(t.cfg.TickEvery) == 0
+	t.mu.Unlock()
 
-	t.rotBuf = t.rotBuf[:0]
-	if t.cfg.TickEvery <= 1 || (t.ctrs.Ticks+1)%uint64(t.cfg.TickEvery) == 0 {
-		t.rotBuf = t.fng.Tick(now, t.store, t.rng, t.rotBuf)
-	}
-	rep := TableTickReport{Rotted: len(t.rotBuf)}
-
-	if len(t.rotBuf) > 0 && t.cfg.DistillOnRot {
-		// "Inspect them once before removal": absorb the rotten tuples
-		// into the rot container before the extent forgets them.
-		doomed := make([]tuple.Tuple, 0, len(t.rotBuf))
-		for _, id := range t.rotBuf {
-			tp, err := t.store.Get(id)
-			if err != nil {
-				return rep, fmt.Errorf("core: rot fetch: %w", err)
+	n := t.store.NumShards()
+	doomed := make([][]tuple.Tuple, n)
+	rotted := make([][]tuple.ID, n)
+	if runFungus {
+		err := fanOut(n, t.workers, func(i int) error {
+			t.shardMu[i].Lock()
+			defer t.shardMu[i].Unlock()
+			if t.closed.Load() {
+				return t.errClosed()
 			}
-			doomed = append(doomed, tp)
+			sh := t.store.Shard(i)
+			buf := t.fngs[i].Tick(now, sh, t.rngs[i], t.rotBufs[i][:0])
+			t.rotBufs[i] = buf
+			rotted[i] = buf
+			if len(buf) == 0 {
+				return nil
+			}
+			if t.cfg.DistillOnRot {
+				// "Inspect them once before removal": clone the rotten
+				// tuples before the extent forgets them.
+				dd := make([]tuple.Tuple, 0, len(buf))
+				for _, id := range buf {
+					tp, err := sh.Get(id)
+					if err != nil {
+						return fmt.Errorf("core: rot fetch: %w", err)
+					}
+					dd = append(dd, tp)
+				}
+				doomed[i] = dd
+			}
+			for _, id := range buf {
+				if err := sh.Evict(id); err != nil {
+					return fmt.Errorf("core: rot evict: %w", err)
+				}
+				if t.log != nil {
+					if err := t.log.AppendEvict(id); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return TableTickReport{}, err
 		}
-		if err := t.shelf.Absorb(RotContainer, now, t.cfg.ContainerHalfLife, doomed); err != nil {
-			return rep, err
-		}
-		rep.Distilled = len(doomed)
-		t.ctrs.DistilledRot += uint64(len(doomed))
 	}
-	for _, id := range t.rotBuf {
-		if err := t.store.Evict(id); err != nil {
-			return rep, fmt.Errorf("core: rot evict: %w", err)
-		}
-		if t.log != nil {
-			if err := t.log.AppendEvict(id); err != nil {
+
+	rep := TableTickReport{}
+	for i := 0; i < n; i++ {
+		rep.Rotted += len(rotted[i])
+	}
+
+	t.mu.Lock()
+	if t.cfg.DistillOnRot {
+		// Absorb in ascending shard order: deterministic for a fixed
+		// shard count, and identical to the pre-sharding engine at one
+		// shard (the fungus and the shelf share one RNG stream there).
+		for i := 0; i < n; i++ {
+			if len(doomed[i]) == 0 {
+				continue
+			}
+			if err := t.shelf.Absorb(RotContainer, now, t.cfg.ContainerHalfLife, doomed[i]); err != nil {
+				t.mu.Unlock()
 				return rep, err
 			}
+			rep.Distilled += len(doomed[i])
+			t.ctrs.DistilledRot += uint64(len(doomed[i]))
 		}
 	}
-	t.ctrs.Rotted += uint64(len(t.rotBuf))
-	t.ctrs.Ticks++
-	if t.log != nil && len(t.rotBuf) > 0 {
-		if err := t.maybeCheckpointLocked(); err != nil {
+	t.ctrs.Rotted += uint64(rep.Rotted)
+	due := rep.Rotted > 0 && t.noteMutationLocked(1)
+	t.mu.Unlock()
+	if due {
+		if err := t.Checkpoint(); err != nil {
 			return rep, err
 		}
 	}
 
 	rep.ContainersDiscarded = t.shelf.Tick()
+	t.rlockAll()
 	rep.Live = t.store.Len()
+	t.runlockAll()
 	return rep, nil
 }
 
-// Compact reclaims tombstone space in sealed segments.
+// Compact reclaims tombstone space in sealed segments of every shard.
 func (t *Table) Compact() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.lockAll()
+	defer t.unlockAll()
 	return t.store.Compact()
 }
 
-// Checkpoint snapshots a persistent table and truncates its WAL.
-func (t *Table) Checkpoint() error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.checkpointLocked()
+// noteMutationLocked counts n logged mutations and reports whether a
+// checkpoint is due — batch inserts pass their row count so
+// CheckpointEvery keeps the same cadence as row-at-a-time ingestion.
+// Caller holds t.mu; the checkpoint itself must run without shard
+// locks held (it takes all of them).
+func (t *Table) noteMutationLocked(n int) bool {
+	if t.log == nil || n <= 0 {
+		return false
+	}
+	t.mutations += n
+	if t.cfg.CheckpointEvery > 0 && t.mutations >= t.cfg.CheckpointEvery {
+		t.mutations = 0
+		return true
+	}
+	return false
 }
 
-func (t *Table) checkpointLocked() error {
+// Checkpoint snapshots a persistent table and truncates its WAL. All
+// shard locks are held for the duration, so the snapshot is one
+// consistent cut and no append can fall between the snapshot and the
+// truncation.
+func (t *Table) Checkpoint() error {
+	t.lockAll()
+	defer t.unlockAll()
+	return t.checkpointHeld()
+}
+
+// checkpointHeld writes the snapshot; the caller holds all shard locks.
+func (t *Table) checkpointHeld() error {
 	if t.log == nil {
+		if t.closed.Load() {
+			// The table closed while this checkpoint was pending; the
+			// final Close checkpoint already captured every mutation
+			// that landed before it took the shard locks.
+			return nil
+		}
 		return fmt.Errorf("core: table %q is not persistent", t.name)
 	}
 	if err := wal.Checkpoint(t.dir, t.store, t.log); err != nil {
 		return err
 	}
+	t.mu.Lock()
 	t.mutations = 0
-	return nil
-}
-
-func (t *Table) maybeCheckpointLocked() error {
-	t.mutations++
-	if t.cfg.CheckpointEvery > 0 && t.mutations >= t.cfg.CheckpointEvery {
-		return t.checkpointLocked()
-	}
+	t.mu.Unlock()
 	return nil
 }
 
 // Close checkpoints (when persistent) and releases the WAL. A closed
 // table rejects further mutations.
 func (t *Table) Close() error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.closed {
+	t.lockAll()
+	defer t.unlockAll()
+	if t.closed.Swap(true) {
 		return nil
 	}
-	t.closed = true
 	if t.log == nil {
 		return nil
 	}
-	if err := t.checkpointLocked(); err != nil {
-		t.log.Close()
-		t.log = nil
+	err := t.checkpointHeld()
+	cerr := t.log.Close()
+	// t.log is read under shard locks (append paths) and under t.mu
+	// (checkpoint scheduling); Close holds all shard locks, so taking
+	// t.mu too makes the nil-out visible to both classes of reader.
+	t.mu.Lock()
+	t.log = nil
+	t.mu.Unlock()
+	if err != nil {
 		return err
 	}
-	err := t.log.Close()
-	t.log = nil
-	return err
+	return cerr
 }

@@ -40,6 +40,24 @@ type EGI struct {
 	decayRate    float64
 	ageBias      float64
 	infected     map[tuple.ID]bool
+
+	// Shard gating (see ForShard): with seedPeriod > 1 this instance
+	// plants seeds only on every seedPeriod-th fungus run, offset by
+	// seedPhase, so N shards together seed at the same whole-table rate
+	// as one unsharded extent. The gate counts the instance's own Tick
+	// invocations (ticks), not the clock value — a table-level
+	// TickEvery period must not alias with the shard rotation.
+	// Infection spread is ungated — fronts advance every tick on every
+	// shard.
+	seedPeriod uint64
+	seedPhase  uint64
+	ticks      uint64
+
+	// claimed marks an instance already installed as some table's
+	// shard-0 fungus; ForShard clones instead of sharing when the same
+	// instance is offered to a second table (tables tick in parallel,
+	// and a shared infection map would race).
+	claimed bool
 }
 
 // EGIConfig parameterises NewEGI. SeedsPerTick and DecayRate of zero are
@@ -102,9 +120,13 @@ func (e *EGI) Tick(now clock.Tick, ext Extent, rng *rand.Rand, rotten []tuple.ID
 	// Phase 1: plant seeds, age-biased. Seeding already "decreas[es]
 	// its freshness" per the paper, which phase 2 performs uniformly
 	// for all infected tuples, seeds included.
-	for i := 0; i < e.seedsPerTick; i++ {
-		if id, ok := e.pickSeed(ext, rng); ok {
-			e.infected[id] = true
+	run := e.ticks
+	e.ticks++
+	if e.seedPeriod <= 1 || run%e.seedPeriod == e.seedPhase {
+		for i := 0; i < e.seedsPerTick; i++ {
+			if id, ok := e.pickSeed(ext, rng); ok {
+				e.infected[id] = true
+			}
 		}
 	}
 

@@ -184,15 +184,28 @@ func (c Composite) Name() string {
 	return name + ")"
 }
 
-// Tick implements Fungus.
+// Tick implements Fungus. The dedup set is allocated only once a member
+// actually rots something — the common all-fresh tick allocates nothing.
 func (c Composite) Tick(now clock.Tick, ext Extent, rng *rand.Rand, rotten []tuple.ID) []tuple.ID {
-	seen := make(map[tuple.ID]bool)
-	for _, id := range rotten {
-		seen[id] = true
+	var seen map[tuple.ID]bool
+	ensureSeen := func() {
+		if seen == nil {
+			seen = make(map[tuple.ID]bool, len(rotten))
+			for _, id := range rotten {
+				seen[id] = true
+			}
+		}
 	}
+	if len(rotten) > 0 {
+		ensureSeen()
+	}
+	var local []tuple.ID
 	for _, m := range c.Members {
-		var local []tuple.ID
-		local = m.Tick(now, ext, rng, local)
+		local = m.Tick(now, ext, rng, local[:0])
+		if len(local) == 0 {
+			continue
+		}
+		ensureSeen()
 		for _, id := range local {
 			if !seen[id] {
 				seen[id] = true

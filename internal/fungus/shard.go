@@ -1,0 +1,103 @@
+package fungus
+
+// Sharded extents run one fungus instance per shard, each against that
+// shard's slice of the insertion-time axis. Boundary semantics:
+//
+//   - Stateless whole-extent fungi (TTL, Linear, Exponential, Staggered,
+//     ValueRate, Null) behave identically sharded or not — every tuple
+//     is visited exactly once per decay cycle regardless of which shard
+//     holds it.
+//   - EGI infection fronts are scoped to their shard: neighbour
+//     infection follows PrevLive/NextLive of the shard extent, i.e. the
+//     nearest live tuple in the same residue class. With round-robin
+//     insertion a shard's neighbours are ~N global positions apart, so a
+//     rot spot of width w on the global axis corresponds to width w/N on
+//     each shard; spots still grow bi-directionally and still remove
+//     complete insertion ranges, they just grow on N fronts at once.
+//     Seeding draws from the shard's own deterministic RNG and is gated
+//     round-robin on the instance's own run counter (shard i seeds on
+//     its i-th-of-every-N fungus runs — deliberately NOT on the clock
+//     value, which would alias with a table-level TickEvery period), so
+//     the whole-table seeding rate equals the unsharded law's.
+//   - Quota is divided: each shard enforces ceil(MaxTuples/N), keeping
+//     the table-level bound within N-1 tuples of the unsharded law.
+//   - Decorators (AccessRefresh, Seasonal, Targeted, Composite) shard by
+//     recursing into their inner fungi.
+//
+// ForShard builds the per-shard instance; custom stateful fungi opt in
+// by implementing Cloner, otherwise the same instance is shared across
+// shards and must tolerate concurrent Ticks over disjoint extents.
+
+// Cloner is implemented by stateful fungi that can produce a fresh
+// instance of themselves (same parameters, empty state) for one shard
+// of a sharded table.
+type Cloner interface {
+	CloneFresh() Fungus
+}
+
+// CloneFresh implements Cloner: a new EGI with the same configuration
+// and an empty infection front.
+func (e *EGI) CloneFresh() Fungus {
+	return NewEGI(EGIConfig{SeedsPerTick: e.seedsPerTick, DecayRate: e.decayRate, AgeBias: e.ageBias})
+}
+
+// ForShard returns the fungus instance shard `shard` of `shards` should
+// run. Shard 0 keeps the original instance (so a one-shard table is
+// exactly the unsharded engine); higher shards get fresh clones of
+// stateful fungi and rescaled quotas, with decorators rebuilt around
+// their sharded inners.
+func ForShard(f Fungus, shard, shards int) Fungus {
+	if f == nil {
+		return Null{}
+	}
+	if shards <= 1 {
+		if e, ok := f.(*EGI); ok {
+			if e.claimed {
+				// Already powering another table: clone rather than
+				// share (tables tick in parallel; a shared infection
+				// map would race) or re-gate the original.
+				return e.CloneFresh()
+			}
+			e.claimed = true
+			// Clear any seeding gate a previous sharded ForShard left
+			// on the instance: unsharded tables seed every run.
+			e.seedPeriod, e.seedPhase = 0, 0
+		}
+		return f
+	}
+	switch v := f.(type) {
+	case *EGI:
+		if shard == 0 && !v.claimed {
+			// Shard 0 keeps the original instance (so handles the caller
+			// retained — Seed, InfectedCount — stay live), gated onto its
+			// phase of the seeding rotation.
+			v.claimed = true
+			v.seedPeriod, v.seedPhase = uint64(shards), 0
+			return v
+		}
+		clone := v.CloneFresh().(*EGI)
+		clone.seedPeriod, clone.seedPhase = uint64(shards), uint64(shard)
+		return clone
+	case Quota:
+		return Quota{MaxTuples: (v.MaxTuples + shards - 1) / shards}
+	case Composite:
+		members := make([]Fungus, len(v.Members))
+		for i, m := range v.Members {
+			members[i] = ForShard(m, shard, shards)
+		}
+		return Composite{Members: members}
+	case AccessRefresh:
+		return AccessRefresh{Inner: ForShard(v.Inner, shard, shards)}
+	case Seasonal:
+		return Seasonal{Inner: ForShard(v.Inner, shard, shards), Period: v.Period, Active: v.Active}
+	case Targeted:
+		return Targeted{Inner: ForShard(v.Inner, shard, shards), Only: v.Only}
+	}
+	if shard == 0 {
+		return f
+	}
+	if c, ok := f.(Cloner); ok {
+		return c.CloneFresh()
+	}
+	return f
+}

@@ -115,46 +115,78 @@ func (p *Pipeline) Run(n int) (int, error) {
 	return inserted, nil
 }
 
+// runBatch pulls and refines one batch, then hands the survivors to the
+// table as a single shard-routed batch insert: the table groups rows by
+// destination shard and takes each shard lock once, instead of the old
+// row-at-a-time lock/unlock churn. Pipeline stats are accumulated
+// batch-locally and folded in under one lock per batch.
 func (p *Pipeline) runBatch(batch int) (int, error) {
-	inserted := 0
+	var local Stats
+	rows := make([][]tuple.Value, 0, batch)
+	var dropped []tuple.Tuple
+	var refineErr error
 	for i := 0; i < batch; i++ {
 		row := p.src.Next()
-		p.mu.Lock()
-		p.stats.Pulled++
-		p.mu.Unlock()
+		local.Pulled++
 		if p.cfg.Refiner != nil {
-			keep, err := p.cfg.Refiner.Refine(row)
-			if err != nil {
-				return inserted, fmt.Errorf("ingest: refine: %w", err)
+			keep, rerr := p.cfg.Refiner.Refine(row)
+			if rerr != nil {
+				refineErr = fmt.Errorf("ingest: refine: %w", rerr)
+				break
 			}
 			if !keep {
 				if p.cfg.DistillDropped != "" {
 					// Dropped rows never get a tuple ID or tick; wrap
 					// them ephemerally so the digest can absorb them.
-					tp := tuple.Tuple{Attrs: row, F: tuple.Full}
-					err := p.tbl.Shelf().Absorb(p.cfg.DistillDropped, 0, 0, []tuple.Tuple{tp})
-					if err != nil {
-						return inserted, fmt.Errorf("ingest: distill dropped: %w", err)
-					}
+					dropped = append(dropped, tuple.Tuple{Attrs: row, F: tuple.Full})
 				}
-				p.mu.Lock()
-				p.stats.Dropped++
-				p.mu.Unlock()
+				local.Dropped++
 				continue
 			}
 		}
-		if _, err := p.tbl.Insert(row); err != nil {
-			return inserted, fmt.Errorf("ingest: insert: %w", err)
-		}
-		inserted++
-		p.mu.Lock()
-		p.stats.Inserted++
-		p.mu.Unlock()
+		rows = append(rows, row)
 	}
+	// Flush everything refined before any error surfaces: the source
+	// cursor has already advanced past these rows, so dropping them on
+	// a refine or distill failure would lose them (the old row-at-a-time
+	// pipeline had inserted them by this point). Inserts and dropped-row
+	// distillation are independent; attempt both, report the first error.
+	var err error
+	inserted := 0
+	if len(rows) > 0 {
+		tps, ierr := p.tbl.InsertBatch(rows)
+		if ierr != nil {
+			err = fmt.Errorf("ingest: insert: %w", ierr)
+			// The batch may be partially applied: count the rows that
+			// made it (failed rows come back zero-valued, and a real
+			// insert always carries full freshness).
+			for _, tp := range tps {
+				if tp.F != 0 {
+					inserted++
+				}
+			}
+		} else {
+			inserted = len(rows)
+		}
+	}
+	if len(dropped) > 0 {
+		if derr := p.tbl.Shelf().Absorb(p.cfg.DistillDropped, 0, 0, dropped); derr != nil && err == nil {
+			err = fmt.Errorf("ingest: distill dropped: %w", derr)
+		}
+	}
+	if err == nil {
+		err = refineErr
+	}
+	local.Inserted = uint64(inserted)
 	p.mu.Lock()
-	p.stats.Batches++
+	p.stats.Pulled += local.Pulled
+	p.stats.Inserted += local.Inserted
+	p.stats.Dropped += local.Dropped
+	if err == nil {
+		p.stats.Batches++
+	}
 	p.mu.Unlock()
-	return inserted, nil
+	return inserted, err
 }
 
 // Start launches background ingestion until Stop (or ctx cancellation).

@@ -1,0 +1,260 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"fungusdb/internal/tuple"
+)
+
+// This file is the shard-parallel half of SELECT execution. A scan over
+// a sharded extent produces one partial result per shard; aggregate and
+// GROUP BY stages merge those partials instead of materialising every
+// matching tuple in one place:
+//
+//	aggs := one NewAggregator per shard
+//	shard scan i: aggs[i].Feed(tp) for every match   (parallel)
+//	for i > 0: aggs[0].Merge(aggs[i])                (shard order)
+//	grid := aggs[0].Grid()
+//
+// Every aggregate the engine supports merges losslessly: COUNT and SUM
+// add, MIN/MAX compare, AVG carries (sum, n). Merging in ascending
+// shard order keeps the output deterministic for a fixed shard count —
+// group "first seen" order and floating-point addition order depend
+// only on the data placement, never on goroutine scheduling.
+
+// aggGroup is one GROUP BY bucket.
+type aggGroup struct {
+	key  []tuple.Value
+	aggs []*aggState
+}
+
+// Aggregator accumulates the aggregate/GROUP BY stage of one SELECT
+// over a stream of tuples. It is not safe for concurrent use; shard
+// scans feed one Aggregator each and merge afterwards.
+type Aggregator struct {
+	stmt    *SelectStmt
+	targets []SelectTarget
+	schema  *tuple.Schema
+	groups  map[string]*aggGroup
+	order   []string // first-seen group order
+}
+
+// Aggregated reports whether the statement needs the aggregate path
+// (any aggregate target or a GROUP BY clause). Non-aggregated
+// statements project tuples row by row and use Execute directly.
+func Aggregated(stmt *SelectStmt, schema *tuple.Schema) (bool, error) {
+	targets, err := expandTargets(stmt, schema)
+	if err != nil {
+		return false, err
+	}
+	if len(stmt.GroupBy) > 0 {
+		return true, nil
+	}
+	for _, t := range targets {
+		if t.Agg != AggNone {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// NewAggregator validates the statement against the schema and returns
+// an empty accumulator for it.
+func NewAggregator(stmt *SelectStmt, schema *tuple.Schema) (*Aggregator, error) {
+	targets, err := expandTargets(stmt, schema)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkGrouping(stmt, targets, schema); err != nil {
+		return nil, err
+	}
+	return &Aggregator{
+		stmt:    stmt,
+		targets: targets,
+		schema:  schema,
+		groups:  map[string]*aggGroup{},
+	}, nil
+}
+
+// Fork returns a fresh, empty accumulator sharing this one's validated
+// statement and targets — one Fork per shard avoids re-validating the
+// statement on every shard of the fan-out. Forks merge back into any
+// aggregator of the same family.
+func (a *Aggregator) Fork() *Aggregator {
+	return &Aggregator{
+		stmt:    a.stmt,
+		targets: a.targets,
+		schema:  a.schema,
+		groups:  map[string]*aggGroup{},
+	}
+}
+
+// checkGrouping validates that plain targets are GROUP BY columns.
+func checkGrouping(stmt *SelectStmt, targets []SelectTarget, schema *tuple.Schema) error {
+	groupSet := map[string]bool{}
+	for _, c := range stmt.GroupBy {
+		if c != tuple.SysTick && c != tuple.SysFresh && c != tuple.SysID && schema.Index(c) < 0 {
+			return fmt.Errorf("query: unknown GROUP BY column %q", c)
+		}
+		groupSet[c] = true
+	}
+	for _, t := range targets {
+		if t.Agg != AggNone {
+			continue
+		}
+		c, ok := t.Expr.(Col)
+		if !ok || !groupSet[c.Name] {
+			return fmt.Errorf("query: non-aggregate target %q must be a GROUP BY column", t.Alias)
+		}
+	}
+	return nil
+}
+
+// Feed folds one tuple into the accumulator.
+func (a *Aggregator) Feed(tp *tuple.Tuple) error {
+	env := TupleEnv{Schema: a.schema, Tuple: tp}
+	keyVals := make([]tuple.Value, len(a.stmt.GroupBy))
+	var kb strings.Builder
+	for j, c := range a.stmt.GroupBy {
+		v, err := env.Lookup(c)
+		if err != nil {
+			return err
+		}
+		keyVals[j] = v
+		kb.WriteString(v.String())
+		kb.WriteByte('\x00')
+	}
+	grp := a.group(kb.String(), keyVals)
+	for j, t := range a.targets {
+		if t.Agg == AggNone {
+			continue
+		}
+		var v tuple.Value
+		if t.Expr != nil {
+			var err error
+			if v, err = t.Expr.Eval(env); err != nil {
+				return err
+			}
+		}
+		if err := grp.aggs[j].observe(t.Agg, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// group returns (creating if needed) the bucket for key.
+func (a *Aggregator) group(key string, keyVals []tuple.Value) *aggGroup {
+	grp, ok := a.groups[key]
+	if !ok {
+		grp = &aggGroup{key: keyVals, aggs: make([]*aggState, len(a.targets))}
+		for j := range grp.aggs {
+			grp.aggs[j] = &aggState{}
+		}
+		a.groups[key] = grp
+		a.order = append(a.order, key)
+	}
+	return grp
+}
+
+// Merge folds another partial accumulator (built over a disjoint tuple
+// set, e.g. another shard) into a. b must come from the same statement;
+// it must not be used afterwards.
+func (a *Aggregator) Merge(b *Aggregator) error {
+	for _, k := range b.order {
+		src := b.groups[k]
+		grp := a.group(k, src.key)
+		for j, t := range a.targets {
+			if t.Agg == AggNone {
+				continue
+			}
+			if err := grp.aggs[j].merge(src.aggs[j]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// merge folds the partial cell b into s. COUNT/SUM/AVG add their (n,
+// sum) carriers; MIN/MAX compare — every aggregate merges losslessly.
+func (s *aggState) merge(b *aggState) error {
+	s.n += b.n
+	s.sum += b.sum
+	if b.min.IsValid() {
+		if !s.min.IsValid() {
+			s.min = b.min
+		} else if cmp, ok := b.min.Compare(s.min); !ok {
+			return fmt.Errorf("query: MIN merge over incomparable kinds")
+		} else if cmp < 0 {
+			s.min = b.min
+		}
+	}
+	if b.max.IsValid() {
+		if !s.max.IsValid() {
+			s.max = b.max
+		} else if cmp, ok := b.max.Compare(s.max); !ok {
+			return fmt.Errorf("query: MAX merge over incomparable kinds")
+		} else if cmp > 0 {
+			s.max = b.max
+		}
+	}
+	return nil
+}
+
+// Grid finalises the accumulated groups into the statement's output
+// grid, applying ORDER BY and LIMIT.
+func (a *Aggregator) Grid() (*Grid, error) {
+	g := &Grid{}
+	for _, t := range a.targets {
+		g.Cols = append(g.Cols, t.Alias)
+	}
+	if len(a.stmt.GroupBy) == 0 {
+		// Whole-extent aggregate: exactly one row, even over zero tuples.
+		grp := &aggGroup{aggs: make([]*aggState, len(a.targets))}
+		for j := range grp.aggs {
+			grp.aggs[j] = &aggState{}
+		}
+		if len(a.order) == 1 {
+			grp = a.groups[a.order[0]]
+		}
+		row := make([]tuple.Value, len(a.targets))
+		for j, t := range a.targets {
+			row[j] = grp.aggs[j].result(t.Agg)
+		}
+		g.Rows = append(g.Rows, row)
+	} else {
+		for _, k := range a.order {
+			grp := a.groups[k]
+			row := make([]tuple.Value, len(a.targets))
+			for j, t := range a.targets {
+				if t.Agg == AggNone {
+					c := t.Expr.(Col)
+					for gi, gc := range a.stmt.GroupBy {
+						if gc == c.Name {
+							row[j] = grp.key[gi]
+						}
+					}
+					continue
+				}
+				row[j] = grp.aggs[j].result(t.Agg)
+			}
+			g.Rows = append(g.Rows, row)
+		}
+		// Deterministic default order: by group key.
+		if len(a.stmt.OrderBy) == 0 {
+			keyIdx := []int{}
+			for j, t := range a.targets {
+				if t.Agg == AggNone {
+					keyIdx = append(keyIdx, j)
+				}
+			}
+			sortGridByKeys(g, keyIdx)
+		}
+	}
+	if err := orderAndLimit(g, a.stmt); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

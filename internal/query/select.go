@@ -396,129 +396,28 @@ func (a *aggState) result(kind AggKind) tuple.Value {
 }
 
 func executeGrouped(stmt *SelectStmt, targets []SelectTarget, schema *tuple.Schema, tuples []tuple.Tuple) (*Grid, error) {
-	// Plain targets must be GROUP BY columns.
-	groupSet := map[string]bool{}
-	for _, c := range stmt.GroupBy {
-		if c != tuple.SysTick && c != tuple.SysFresh && c != tuple.SysID && schema.Index(c) < 0 {
-			return nil, fmt.Errorf("query: unknown GROUP BY column %q", c)
-		}
-		groupSet[c] = true
-	}
-	for _, t := range targets {
-		if t.Agg != AggNone {
-			continue
-		}
-		c, ok := t.Expr.(Col)
-		if !ok || !groupSet[c.Name] {
-			return nil, fmt.Errorf("query: non-aggregate target %q must be a GROUP BY column", t.Alias)
-		}
-	}
-
-	type group struct {
-		key  []tuple.Value
-		aggs []*aggState
-	}
-	groups := map[string]*group{}
-	var order []string // first-seen order for determinism pre-sort
-
-	for i := range tuples {
-		env := TupleEnv{Schema: schema, Tuple: &tuples[i]}
-		keyVals := make([]tuple.Value, len(stmt.GroupBy))
-		var kb strings.Builder
-		for j, c := range stmt.GroupBy {
-			v, err := env.Lookup(c)
-			if err != nil {
-				return nil, err
-			}
-			keyVals[j] = v
-			kb.WriteString(v.String())
-			kb.WriteByte('\x00')
-		}
-		k := kb.String()
-		grp, ok := groups[k]
-		if !ok {
-			grp = &group{key: keyVals, aggs: make([]*aggState, len(targets))}
-			for j := range grp.aggs {
-				grp.aggs[j] = &aggState{}
-			}
-			groups[k] = grp
-			order = append(order, k)
-		}
-		for j, t := range targets {
-			if t.Agg == AggNone {
-				continue
-			}
-			var v tuple.Value
-			if t.Expr != nil {
-				var err error
-				if v, err = t.Expr.Eval(env); err != nil {
-					return nil, err
-				}
-			}
-			if err := grp.aggs[j].observe(t.Agg, v); err != nil {
-				return nil, err
-			}
-		}
-	}
-
-	g := &Grid{}
-	for _, t := range targets {
-		g.Cols = append(g.Cols, t.Alias)
-	}
-	// Whole-extent aggregate with no groups still yields one row.
-	if len(stmt.GroupBy) == 0 {
-		agg := &group{aggs: make([]*aggState, len(targets))}
-		for j := range agg.aggs {
-			agg.aggs[j] = &aggState{}
-		}
-		if len(order) == 1 {
-			agg = groups[order[0]]
-		}
-		row := make([]tuple.Value, len(targets))
-		for j, t := range targets {
-			row[j] = agg.aggs[j].result(t.Agg)
-		}
-		g.Rows = append(g.Rows, row)
-	} else {
-		for _, k := range order {
-			grp := groups[k]
-			row := make([]tuple.Value, len(targets))
-			for j, t := range targets {
-				if t.Agg == AggNone {
-					c := t.Expr.(Col)
-					for gi, gc := range stmt.GroupBy {
-						if gc == c.Name {
-							row[j] = grp.key[gi]
-						}
-					}
-					continue
-				}
-				row[j] = grp.aggs[j].result(t.Agg)
-			}
-			g.Rows = append(g.Rows, row)
-		}
-		// Deterministic default order: by group key.
-		if len(stmt.OrderBy) == 0 {
-			keyIdx := []int{}
-			for j, t := range targets {
-				if t.Agg == AggNone {
-					keyIdx = append(keyIdx, j)
-				}
-			}
-			sort.SliceStable(g.Rows, func(a, b int) bool {
-				for _, j := range keyIdx {
-					if cmp, ok := g.Rows[a][j].Compare(g.Rows[b][j]); ok && cmp != 0 {
-						return cmp < 0
-					}
-				}
-				return false
-			})
-		}
-	}
-	if err := orderAndLimit(g, stmt); err != nil {
+	if err := checkGrouping(stmt, targets, schema); err != nil {
 		return nil, err
 	}
-	return g, nil
+	agg := &Aggregator{stmt: stmt, targets: targets, schema: schema, groups: map[string]*aggGroup{}}
+	for i := range tuples {
+		if err := agg.Feed(&tuples[i]); err != nil {
+			return nil, err
+		}
+	}
+	return agg.Grid()
+}
+
+// sortGridByKeys stably sorts rows by the given column indices.
+func sortGridByKeys(g *Grid, keyIdx []int) {
+	sort.SliceStable(g.Rows, func(a, b int) bool {
+		for _, j := range keyIdx {
+			if cmp, ok := g.Rows[a][j].Compare(g.Rows[b][j]); ok && cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
 }
 
 func orderAndLimit(g *Grid, stmt *SelectStmt) error {

@@ -129,6 +129,7 @@ func (s *Server) createEphemeral(spec catalog.TableSpec) error {
 	_, err = s.db.CreateTable(spec.Name, core.TableConfig{
 		Schema:            schema,
 		Fungus:            f,
+		Shards:            spec.Shards,
 		SegmentSize:       spec.SegmentSize,
 		TickEvery:         spec.TickEvery,
 		TouchOnRead:       spec.TouchOnRead,
@@ -182,25 +183,23 @@ func (s *Server) insertRows(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, errors.New("no rows"))
 		return
 	}
-	resp := InsertResponse{}
-	first := true
+	rows := make([][]tuple.Value, len(req.Rows))
 	for i, raw := range req.Rows {
 		vals, err := decodeRow(tbl.Schema(), raw)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("row %d: %w", i, err))
 			return
 		}
-		tp, err := tbl.Insert(vals)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("row %d: %w", i, err))
-			return
-		}
-		if first {
-			resp.FirstID = uint64(tp.ID)
-			first = false
-		}
-		resp.Inserted++
+		rows[i] = vals
 	}
+	// One batch insert: rows are grouped per shard and each shard lock
+	// is taken once, instead of once per row.
+	tps, err := tbl.InsertBatch(rows)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := InsertResponse{Inserted: len(tps), FirstID: uint64(tps[0].ID)}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -245,6 +244,7 @@ func decodeRow(schema *tuple.Schema, raw []any) ([]tuple.Value, error) {
 // StatsResponse is the GET stats body.
 type StatsResponse struct {
 	Live        int     `json:"live"`
+	Shards      int     `json:"shards"`
 	Bytes       int     `json:"bytes"`
 	MeanFresh   float64 `json:"mean_freshness"`
 	Infected    int     `json:"infected"`
@@ -265,7 +265,7 @@ func (s *Server) tableStats(w http.ResponseWriter, r *http.Request) {
 	p := tbl.Profile()
 	c := tbl.Counters()
 	writeJSON(w, http.StatusOK, StatsResponse{
-		Live: p.Live, Bytes: p.Bytes, MeanFresh: p.Mean, Infected: p.Infected,
+		Live: p.Live, Shards: tbl.Shards(), Bytes: p.Bytes, MeanFresh: p.Mean, Infected: p.Infected,
 		Inserted: c.Inserted, Rotted: c.Rotted, Consumed: c.Consumed,
 		Distilled: c.DistilledRot + c.DistilledQuery,
 		Queries:   c.Queries, Ticks: c.Ticks, CaptureRate: c.CaptureRate(),

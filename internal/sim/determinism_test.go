@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// renderAll runs every experiment under cfg and returns the rendered
+// report stream.
+func renderAll(t *testing.T, cfg Config) string {
+	t.Helper()
+	var b strings.Builder
+	for _, id := range ExperimentIDs {
+		Runner[id](cfg).Render(&b)
+	}
+	return b.String()
+}
+
+// TestExperimentsByteIdenticalAtOneShard proves determinism survived
+// the sharding refactor: the explicit shards=1 engine and the default
+// (unset) configuration — the pre-refactor code path — must render
+// byte-identical reports for a fixed seed.
+func TestExperimentsByteIdenticalAtOneShard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep")
+	}
+	base := renderAll(t, Config{Scale: 0.05, Seed: 7})
+	one := renderAll(t, Config{Scale: 0.05, Seed: 7, Shards: 1})
+	if base != one {
+		t.Fatal("shards=1 diverged from the default engine")
+	}
+	again := renderAll(t, Config{Scale: 0.05, Seed: 7})
+	if base != again {
+		t.Fatal("two identical runs diverged")
+	}
+}
+
+// TestExperimentsDeterministicWhenSharded: a sharded run is just as
+// reproducible — same seed and shard count, same bytes — even with the
+// parallel fan-out enabled.
+func TestExperimentsDeterministicWhenSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep")
+	}
+	cfg := Config{Scale: 0.05, Seed: 7, Shards: 4, Workers: 4}
+	a := renderAll(t, cfg)
+	b := renderAll(t, cfg)
+	if a != b {
+		t.Fatal("sharded experiment runs diverged")
+	}
+}

@@ -16,6 +16,13 @@ import (
 type Config struct {
 	Scale float64
 	Seed  int64
+	// Shards runs every experiment table with this many extent shards
+	// (0/1 = the unsharded engine). Reports stay deterministic for a
+	// fixed (Seed, Shards) pair; Shards <= 1 reproduces the pre-sharding
+	// engine byte for byte.
+	Shards int
+	// Workers bounds the engine's fan-out pool (0 = GOMAXPROCS).
+	Workers int
 }
 
 // DefaultConfig is the full-size configuration.
@@ -47,7 +54,7 @@ var ExperimentIDs = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9
 
 // newIoTTable builds a DB + IoT table with the given fungus.
 func newIoTTable(cfg Config, name string, f fungus.Fungus, distill bool) (*core.DB, *core.Table, *workload.IoT) {
-	db, err := core.Open(core.DBConfig{Seed: cfg.Seed})
+	db, err := core.Open(core.DBConfig{Seed: cfg.Seed, Workers: cfg.Workers})
 	if err != nil {
 		panic(err)
 	}
@@ -55,6 +62,7 @@ func newIoTTable(cfg Config, name string, f fungus.Fungus, distill bool) (*core.
 	tbl, err := db.CreateTable(name, core.TableConfig{
 		Schema:       gen.Schema(),
 		Fungus:       f,
+		Shards:       cfg.Shards,
 		DistillOnRot: distill,
 	})
 	if err != nil {
@@ -159,7 +167,14 @@ func E2RotSpots(cfg Config) *Table {
 			panic(err)
 		}
 	}
-	egi.Seed(tuple.ID(n / 2))
+	// The hand-planted seed goes into the caller-held EGI instance,
+	// which ForShard assigns to shard 0 — round the target ID into
+	// shard 0's residue class so the spot grows under any shard count.
+	seedID := n / 2
+	if cfg.Shards > 1 {
+		seedID -= seedID % cfg.Shards
+	}
+	egi.Seed(tuple.ID(seedID))
 
 	const buckets = 20
 	checkpoints := []int{0, n / 200, n / 100, n / 40}
@@ -329,13 +344,13 @@ func E4Consume(cfg Config) *Table {
 // count is exact and NDV/quantile/heavy-hitter queries stay accurate.
 func E5Distill(cfg Config) *Table {
 	n := cfg.n(100000)
-	db, err := core.Open(core.DBConfig{Seed: cfg.Seed})
+	db, err := core.Open(core.DBConfig{Seed: cfg.Seed, Workers: cfg.Workers})
 	if err != nil {
 		panic(err)
 	}
 	defer db.Close()
 	gen := workload.NewClickstream(5000, 1000, cfg.Seed)
-	tbl, err := db.CreateTable("clicks", core.TableConfig{Schema: gen.Schema()})
+	tbl, err := db.CreateTable("clicks", core.TableConfig{Schema: gen.Schema(), Shards: cfg.Shards})
 	if err != nil {
 		panic(err)
 	}

@@ -3,9 +3,18 @@
 //
 // Tuple IDs are assigned densely in insertion order and never reused, so
 // the ID axis coincides with the paper's insertion-time axis. Segment k
-// owns IDs [k*cap, (k+1)*cap). Eviction (rot or consume-on-query) marks
-// tombstones; a fully dead segment is dropped wholesale, which is how
-// the paper's "removing complete insertion ranges" materialises.
+// of an unsharded store owns IDs [k*cap, (k+1)*cap). Eviction (rot or
+// consume-on-query) marks tombstones; a fully dead segment is dropped
+// wholesale, which is how the paper's "removing complete insertion
+// ranges" materialises.
+//
+// A ShardedStore horizontally partitions one extent across N Stores:
+// shard s owns the ID residue class {s, s+N, s+2N, ...} (stride N,
+// offset s), and inserts are dealt round-robin so single-threaded
+// insertion still produces the dense global sequence 0, 1, 2, ... Each
+// shard is an independent Store — its own segments, counters and
+// fungus.Extent surface — which is what lets the engine decay and scan
+// shards on separate cores.
 package storage
 
 import (
@@ -14,14 +23,17 @@ import (
 	"fungusdb/internal/tuple"
 )
 
-// segment holds tuples whose IDs fall in [base, base+capacity). While
-// dense (the normal state) slot addressing is id-base. After compaction
-// the segment becomes sparse — tombstoned tuples are physically removed,
-// IDs are preserved — and slot addressing binary-searches. dead[slot]
-// marks tombstones; freshness and infection state are mutated in place
-// by the fungus layer.
+// segment holds tuples whose IDs fall in [base, base+capacity*stride),
+// striding the ID axis (stride 1 for an unsharded store; shard s of N
+// holds IDs ≡ s mod N with stride N). While dense (the normal state)
+// slot addressing is (id-base)/stride. After compaction the segment
+// becomes sparse — tombstoned tuples are physically removed, IDs are
+// preserved — and slot addressing binary-searches. dead[slot] marks
+// tombstones; freshness and infection state are mutated in place by the
+// fungus layer.
 type segment struct {
 	base   tuple.ID
+	stride tuple.ID
 	tuples []tuple.Tuple
 	dead   []bool
 	live   int  // number of non-tombstoned tuples
@@ -30,9 +42,10 @@ type segment struct {
 	sparse bool // compacted: IDs no longer dense, use binary search
 }
 
-func newSegment(base tuple.ID, capacity int) *segment {
+func newSegment(base tuple.ID, capacity int, stride tuple.ID) *segment {
 	return &segment{
 		base:   base,
+		stride: stride,
 		tuples: make([]tuple.Tuple, 0, capacity),
 		dead:   make([]bool, 0, capacity),
 	}
@@ -42,7 +55,7 @@ func newSegment(base tuple.ID, capacity int) *segment {
 // turns sparse when the ID skips slots (possible after ID-space gaps
 // left by recovery).
 func (s *segment) append(tp tuple.Tuple) {
-	if tp.ID != s.base+tuple.ID(len(s.tuples)) {
+	if tp.ID != s.base+tuple.ID(len(s.tuples))*s.stride {
 		s.sparse = true
 	}
 	s.tuples = append(s.tuples, tp)
@@ -57,10 +70,10 @@ func (s *segment) append(tp tuple.Tuple) {
 // slot returns the index of id within tuples, or -1 if absent.
 func (s *segment) slot(id tuple.ID) int {
 	if !s.sparse {
-		if id < s.base {
+		if id < s.base || (id-s.base)%s.stride != 0 {
 			return -1
 		}
-		i := int(id - s.base)
+		i := int((id - s.base) / s.stride)
 		if i >= len(s.tuples) {
 			return -1
 		}

@@ -1,0 +1,331 @@
+package storage
+
+import (
+	"sync/atomic"
+
+	"fungusdb/internal/clock"
+	"fungusdb/internal/tuple"
+)
+
+// ShardedStore horizontally partitions one relation extent across N
+// independent Stores. Shard s owns the ID residue class
+// {s, s+N, s+2N, ...} (stride N, offset s), so every global tuple ID
+// maps to exactly one shard via id mod N, and the union of the shards
+// is a dense global ID axis. Inserts are dealt round-robin, which keeps
+// single-threaded insertion producing the same ID sequence 0, 1, 2, ...
+// as an unsharded store; a one-shard ShardedStore is bit-for-bit
+// equivalent to a plain Store.
+//
+// Like Store, a ShardedStore is not safe for concurrent use by itself —
+// the engine layer (internal/core) holds one lock per shard and fans
+// work out. The exception is NextShard, whose round-robin cursor is
+// atomic so concurrent inserters can claim shards without a global
+// lock. Methods that take a shard index (Shard, InsertShard, ScanShard)
+// touch only that shard and may run concurrently with operations on
+// other shards; whole-extent methods (Scan, Len, Stats, ...) touch
+// every shard and need all shard locks held.
+type ShardedStore struct {
+	schema *tuple.Schema
+	shards []*Store
+	rr     atomic.Uint64 // round-robin insert cursor
+}
+
+// NewSharded creates an empty extent split into the given number of
+// shards (values below 1 are clamped to 1). Options apply to every
+// shard; WithStride must not be passed (the sharding owns the axis).
+func NewSharded(schema *tuple.Schema, shards int, opts ...Option) *ShardedStore {
+	if shards < 1 {
+		shards = 1
+	}
+	ss := &ShardedStore{schema: schema, shards: make([]*Store, shards)}
+	for i := range ss.shards {
+		shardOpts := make([]Option, 0, len(opts)+1)
+		shardOpts = append(shardOpts, opts...)
+		shardOpts = append(shardOpts, WithStride(shards, i))
+		ss.shards[i] = New(schema, shardOpts...)
+	}
+	return ss
+}
+
+// Schema returns the relation schema.
+func (ss *ShardedStore) Schema() *tuple.Schema { return ss.schema }
+
+// NumShards returns the shard count.
+func (ss *ShardedStore) NumShards() int { return len(ss.shards) }
+
+// Shard returns shard i. Each shard is a full Store and implements the
+// fungus.Extent contract over its slice of the time axis.
+func (ss *ShardedStore) Shard(i int) *Store { return ss.shards[i] }
+
+// ShardOf returns the index of the shard owning id.
+func (ss *ShardedStore) ShardOf(id tuple.ID) int {
+	return int(uint64(id) % uint64(len(ss.shards)))
+}
+
+// NextShard atomically advances the round-robin cursor and returns the
+// shard the next insert should go to. Safe for concurrent use.
+func (ss *ShardedStore) NextShard() int {
+	return int((ss.rr.Add(1) - 1) % uint64(len(ss.shards)))
+}
+
+// Insert routes one insert round-robin. Callers that need per-shard
+// locking call NextShard and InsertShard themselves.
+func (ss *ShardedStore) Insert(now clock.Tick, attrs []tuple.Value) (tuple.Tuple, error) {
+	return ss.shards[ss.NextShard()].Insert(now, attrs)
+}
+
+// InsertShard inserts into shard i, which the caller has claimed via
+// NextShard (and locked, under concurrency).
+func (ss *ShardedStore) InsertShard(i int, now clock.Tick, attrs []tuple.Value) (tuple.Tuple, error) {
+	return ss.shards[i].Insert(now, attrs)
+}
+
+// Len returns the number of live tuples across all shards.
+func (ss *ShardedStore) Len() int {
+	n := 0
+	for _, sh := range ss.shards {
+		n += sh.Len()
+	}
+	return n
+}
+
+// Bytes returns the approximate live extent size across all shards.
+func (ss *ShardedStore) Bytes() int {
+	n := 0
+	for _, sh := range ss.shards {
+		n += sh.Bytes()
+	}
+	return n
+}
+
+// NextID returns one past the largest ID any shard has allocated: an
+// upper bound on every assigned ID, used by snapshots.
+func (ss *ShardedStore) NextID() tuple.ID {
+	var max tuple.ID
+	for _, sh := range ss.shards {
+		if sh.NextID() > max {
+			max = sh.NextID()
+		}
+	}
+	return max
+}
+
+// Stats aggregates the per-shard counters.
+func (ss *ShardedStore) Stats() Stats {
+	var out Stats
+	for _, sh := range ss.shards {
+		st := sh.Stats()
+		out.Live += st.Live
+		out.Bytes += st.Bytes
+		out.Inserted += st.Inserted
+		out.Evicted += st.Evicted
+		out.SegsTotal += st.SegsTotal
+		out.SegsLive += st.SegsLive
+		out.SegsDropped += st.SegsDropped
+	}
+	return out
+}
+
+// Get returns a copy of the live tuple with the given id.
+func (ss *ShardedStore) Get(id tuple.ID) (tuple.Tuple, error) {
+	return ss.shards[ss.ShardOf(id)].Get(id)
+}
+
+// Contains reports whether id refers to a live tuple.
+func (ss *ShardedStore) Contains(id tuple.ID) bool {
+	return ss.shards[ss.ShardOf(id)].Contains(id)
+}
+
+// Update applies fn to the live tuple with id in place.
+func (ss *ShardedStore) Update(id tuple.ID, fn func(*tuple.Tuple)) error {
+	return ss.shards[ss.ShardOf(id)].Update(id, fn)
+}
+
+// Evict tombstones the tuple with id.
+func (ss *ShardedStore) Evict(id tuple.ID) error {
+	return ss.shards[ss.ShardOf(id)].Evict(id)
+}
+
+// cursor walks one shard's live tuples in ID order without callbacks,
+// so Scan can k-way merge shards.
+type cursor struct {
+	s    *Store
+	seg  int
+	slot int
+}
+
+func (c *cursor) next() *tuple.Tuple {
+	for c.seg < len(c.s.segs) {
+		sg := c.s.segs[c.seg]
+		if sg == nil {
+			c.seg++
+			c.slot = 0
+			continue
+		}
+		for c.slot < len(sg.tuples) {
+			j := c.slot
+			c.slot++
+			if !sg.dead[j] {
+				return &sg.tuples[j]
+			}
+		}
+		c.seg++
+		c.slot = 0
+	}
+	return nil
+}
+
+// Scan calls fn for every live tuple in global insertion (time) order,
+// merging the shards by ID. The pointer passed to fn is valid only
+// during the call; fn must not evict or insert. Returning false stops
+// the scan.
+func (ss *ShardedStore) Scan(fn func(*tuple.Tuple) bool) {
+	if len(ss.shards) == 1 {
+		ss.shards[0].Scan(fn)
+		return
+	}
+	cursors := make([]cursor, len(ss.shards))
+	heads := make([]*tuple.Tuple, len(ss.shards))
+	for i, sh := range ss.shards {
+		cursors[i] = cursor{s: sh, seg: sh.first}
+		heads[i] = cursors[i].next()
+	}
+	for {
+		best := -1
+		for i, h := range heads {
+			if h != nil && (best < 0 || h.ID < heads[best].ID) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		if !fn(heads[best]) {
+			return
+		}
+		heads[best] = cursors[best].next()
+	}
+}
+
+// ScanShard scans only shard i, in that shard's ID order.
+func (ss *ShardedStore) ScanShard(i int, fn func(*tuple.Tuple) bool) {
+	ss.shards[i].Scan(fn)
+}
+
+// ScanIDs appends the IDs of all live tuples to dst in global insertion
+// order and returns it.
+func (ss *ShardedStore) ScanIDs(dst []tuple.ID) []tuple.ID {
+	ss.Scan(func(tp *tuple.Tuple) bool {
+		dst = append(dst, tp.ID)
+		return true
+	})
+	return dst
+}
+
+// FirstLive returns the smallest live tuple ID across shards.
+func (ss *ShardedStore) FirstLive() (tuple.ID, bool) {
+	var best tuple.ID
+	found := false
+	for _, sh := range ss.shards {
+		if id, ok := sh.FirstLive(); ok && (!found || id < best) {
+			best, found = id, true
+		}
+	}
+	return best, found
+}
+
+// LastLive returns the largest live tuple ID across shards.
+func (ss *ShardedStore) LastLive() (tuple.ID, bool) {
+	var best tuple.ID
+	found := false
+	for _, sh := range ss.shards {
+		if id, ok := sh.LastLive(); ok && (!found || id > best) {
+			best, found = id, true
+		}
+	}
+	return best, found
+}
+
+// PrevLive returns the nearest live tuple ID strictly before id on the
+// global time axis.
+func (ss *ShardedStore) PrevLive(id tuple.ID) (tuple.ID, bool) {
+	var best tuple.ID
+	found := false
+	for _, sh := range ss.shards {
+		if got, ok := sh.PrevLive(id); ok && (!found || got > best) {
+			best, found = got, true
+		}
+	}
+	return best, found
+}
+
+// NextLive returns the nearest live tuple ID strictly after id on the
+// global time axis.
+func (ss *ShardedStore) NextLive(id tuple.ID) (tuple.ID, bool) {
+	var best tuple.ID
+	found := false
+	for _, sh := range ss.shards {
+		if got, ok := sh.NextLive(id); ok && (!found || got < best) {
+			best, found = got, true
+		}
+	}
+	return best, found
+}
+
+// Compact reclaims tombstone space in every shard, returning the total
+// number of slots reclaimed.
+func (ss *ShardedStore) Compact() int {
+	n := 0
+	for _, sh := range ss.shards {
+		n += sh.Compact()
+	}
+	return n
+}
+
+// Restore appends a tuple during snapshot load, routing by ID residue.
+// Global IDs must be strictly increasing across calls (the snapshot is
+// written in global scan order), which keeps every shard's sequence
+// increasing too.
+func (ss *ShardedStore) Restore(tp tuple.Tuple) error {
+	return ss.shards[ss.ShardOf(tp.ID)].Restore(tp)
+}
+
+// InsertTuple restores a fully formed tuple during WAL replay, routing
+// by ID residue.
+func (ss *ShardedStore) InsertTuple(tp tuple.Tuple) error {
+	return ss.shards[ss.ShardOf(tp.ID)].InsertTuple(tp)
+}
+
+// FinishRestore completes recovery on every shard and re-aims the
+// round-robin cursor at the shard that is furthest behind, so the
+// post-recovery insert rotation continues where the pre-crash one left
+// off.
+func (ss *ShardedStore) FinishRestore() {
+	for _, sh := range ss.shards {
+		sh.FinishRestore()
+	}
+	ss.syncCursor()
+}
+
+// AdvanceNextID raises every shard's allocation point to at least id
+// (each shard rounds up into its own residue class, so a few IDs may be
+// skipped — IDs need not be contiguous, only unique and increasing).
+func (ss *ShardedStore) AdvanceNextID(id tuple.ID) {
+	for _, sh := range ss.shards {
+		sh.AdvanceNextID(id)
+	}
+	ss.syncCursor()
+}
+
+// syncCursor points the round-robin cursor at the shard with the
+// smallest next ID (ties to the lowest index): under round-robin
+// allocation that is exactly the next shard in rotation.
+func (ss *ShardedStore) syncCursor() {
+	best := 0
+	for i, sh := range ss.shards {
+		if sh.NextID() < ss.shards[best].NextID() {
+			best = i
+		}
+	}
+	ss.rr.Store(uint64(best))
+}

@@ -1,0 +1,200 @@
+package storage
+
+import (
+	"testing"
+
+	"fungusdb/internal/tuple"
+)
+
+func shardSchema(t *testing.T) *tuple.Schema {
+	t.Helper()
+	s, err := tuple.ParseSchema("v INT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func row(v int64) []tuple.Value { return []tuple.Value{tuple.Int(v)} }
+
+// Single-threaded round-robin insertion must produce the dense global
+// sequence 0, 1, 2, ... regardless of shard count — the sharded axis is
+// indistinguishable from the unsharded one.
+func TestShardedIDSequenceMatchesUnsharded(t *testing.T) {
+	schema := shardSchema(t)
+	for _, shards := range []int{1, 2, 3, 4, 7} {
+		ss := NewSharded(schema, shards, WithSegmentSize(8))
+		const n = 100
+		for i := 0; i < n; i++ {
+			tp, err := ss.Insert(1, row(int64(i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tp.ID != tuple.ID(i) {
+				t.Fatalf("shards=%d: insert %d got ID %d", shards, i, tp.ID)
+			}
+		}
+		// Merged scan yields global insertion order.
+		want := tuple.ID(0)
+		ss.Scan(func(tp *tuple.Tuple) bool {
+			if tp.ID != want {
+				t.Fatalf("shards=%d: scan got %d, want %d", shards, tp.ID, want)
+			}
+			want++
+			return true
+		})
+		if want != n {
+			t.Fatalf("shards=%d: scan saw %d tuples", shards, want)
+		}
+		if ss.Len() != n {
+			t.Fatalf("shards=%d: Len=%d", shards, ss.Len())
+		}
+	}
+}
+
+func TestShardedRoutingAndEvict(t *testing.T) {
+	schema := shardSchema(t)
+	ss := NewSharded(schema, 4)
+	const n = 40
+	for i := 0; i < n; i++ {
+		if _, err := ss.Insert(1, row(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		id := tuple.ID(i)
+		if ss.ShardOf(id) != i%4 {
+			t.Fatalf("ShardOf(%d) = %d", id, ss.ShardOf(id))
+		}
+		tp, err := ss.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%d): %v", id, err)
+		}
+		if tp.Attrs[0].AsInt() != int64(i) {
+			t.Fatalf("Get(%d) value %v", id, tp.Attrs[0])
+		}
+	}
+	// Evict every tuple of shard 1's residue class.
+	for i := 1; i < n; i += 4 {
+		if err := ss.Evict(tuple.ID(i)); err != nil {
+			t.Fatalf("Evict(%d): %v", i, err)
+		}
+	}
+	if ss.Len() != n-n/4 {
+		t.Fatalf("Len after evictions = %d", ss.Len())
+	}
+	if ss.Shard(1).Len() != 0 {
+		t.Fatalf("shard 1 should be empty, Len=%d", ss.Shard(1).Len())
+	}
+	// Merged neighbour walk skips the hole shard.
+	if next, ok := ss.NextLive(0); !ok || next != 2 {
+		t.Fatalf("NextLive(0) = %d, %v", next, ok)
+	}
+	if prev, ok := ss.PrevLive(4); !ok || prev != 3 {
+		t.Fatalf("PrevLive(4) = %d, %v", prev, ok)
+	}
+}
+
+// A shard store's neighbour queries accept IDs outside its residue
+// class (EGI's age-biased seeding aims at arbitrary global positions).
+func TestStrideStoreUnalignedNeighbours(t *testing.T) {
+	schema := shardSchema(t)
+	s := New(schema, WithStride(4, 1), WithSegmentSize(4))
+	// IDs 1, 5, 9, ..., 37.
+	for i := 0; i < 10; i++ {
+		tp, err := s.Insert(1, row(int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tp.ID != tuple.ID(4*i+1) {
+			t.Fatalf("insert %d got ID %d", i, tp.ID)
+		}
+	}
+	if got, ok := s.NextLive(0); !ok || got != 1 {
+		t.Fatalf("NextLive(0) = %d, %v", got, ok)
+	}
+	if got, ok := s.NextLive(1); !ok || got != 5 {
+		t.Fatalf("NextLive(1) = %d, %v", got, ok)
+	}
+	if got, ok := s.NextLive(7); !ok || got != 9 {
+		t.Fatalf("NextLive(7) = %d, %v", got, ok)
+	}
+	if got, ok := s.PrevLive(7); !ok || got != 5 {
+		t.Fatalf("PrevLive(7) = %d, %v", got, ok)
+	}
+	if _, ok := s.PrevLive(1); ok {
+		t.Fatal("PrevLive(1) should find nothing")
+	}
+	if got, ok := s.PrevLive(1000); !ok || got != 37 {
+		t.Fatalf("PrevLive(1000) = %d, %v", got, ok)
+	}
+	if _, ok := s.NextLive(37); ok {
+		t.Fatal("NextLive(37) should find nothing")
+	}
+	// Unaligned lookups miss without panicking.
+	if s.Contains(2) {
+		t.Fatal("Contains(2) on residue class 1 mod 4")
+	}
+	if err := s.Evict(2); err == nil {
+		t.Fatal("Evict(2) should fail")
+	}
+}
+
+// Restoring a snapshot written by an N-sharded extent into an M-sharded
+// one must work: IDs decide ownership, not file layout.
+func TestShardedRestoreAcrossShardCounts(t *testing.T) {
+	schema := shardSchema(t)
+	src := NewSharded(schema, 3)
+	const n = 30
+	for i := 0; i < n; i++ {
+		if _, err := src.Insert(7, row(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Punch holes so the restore stream is sparse.
+	for _, id := range []tuple.ID{4, 5, 11, 29} {
+		if err := src.Evict(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, shards := range []int{1, 2, 5} {
+		dst := NewSharded(schema, shards)
+		src.Scan(func(tp *tuple.Tuple) bool {
+			if err := dst.Restore(tp.Clone()); err != nil {
+				t.Fatalf("shards=%d: restore %d: %v", shards, tp.ID, err)
+			}
+			return true
+		})
+		dst.FinishRestore()
+		dst.AdvanceNextID(src.NextID())
+		if dst.Len() != src.Len() {
+			t.Fatalf("shards=%d: Len=%d want %d", shards, dst.Len(), src.Len())
+		}
+		var got, want []tuple.ID
+		src.Scan(func(tp *tuple.Tuple) bool { want = append(want, tp.ID); return true })
+		dst.Scan(func(tp *tuple.Tuple) bool { got = append(got, tp.ID); return true })
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: scan mismatch", shards)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d: scan[%d] = %d want %d", shards, i, got[i], want[i])
+			}
+		}
+		// Fresh inserts never collide with restored IDs.
+		seen := map[tuple.ID]bool{}
+		for _, id := range got {
+			seen[id] = true
+		}
+		for i := 0; i < 10; i++ {
+			tp, err := dst.Insert(8, row(99))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seen[tp.ID] {
+				t.Fatalf("shards=%d: reused ID %d", shards, tp.ID)
+			}
+			seen[tp.ID] = true
+		}
+	}
+}

@@ -17,12 +17,20 @@ const DefaultSegmentSize = 4096
 // never inserted or has been evicted.
 var ErrNotFound = errors.New("storage: tuple not found")
 
-// Store is the extent of one relation. It is not safe for concurrent
-// use; the engine layer (internal/core) serialises access per table.
+// ErrStaleRestore is returned by Restore when the tuple's ID is behind
+// the store's allocation cursor: the tuple is already present (or was
+// superseded), which WAL recovery treats as "skip, not fail".
+var ErrStaleRestore = errors.New("storage: stale restore")
+
+// Store is the extent of one relation (or one shard of one, when
+// created with WithStride). It is not safe for concurrent use; the
+// engine layer (internal/core) serialises access per shard.
 type Store struct {
 	schema  *tuple.Schema
 	segSize int
-	segs    []*segment // segs[k] covers IDs [k*segSize, (k+1)*segSize); nil once dropped
+	stride  tuple.ID   // ID-axis step between consecutive slots (1 = unsharded)
+	offset  tuple.ID   // ID of slot 0 (the shard index)
+	segs    []*segment // segs[k] covers slots [k*segSize, (k+1)*segSize); nil once dropped
 	first   int        // index of the first non-nil segment (all before are dropped)
 	nextID  tuple.ID
 	live    int
@@ -46,14 +54,40 @@ func WithSegmentSize(n int) Option {
 	return func(s *Store) { s.segSize = n }
 }
 
+// WithStride makes the store own only the ID residue class
+// {offset, offset+stride, offset+2*stride, ...}: shard offset of a
+// stride-way sharded extent. The default (stride 1, offset 0) is the
+// dense unsharded axis. It panics on an invalid pair.
+func WithStride(stride, offset int) Option {
+	if stride <= 0 || offset < 0 || offset >= stride {
+		panic("storage: stride must be positive and 0 <= offset < stride")
+	}
+	return func(s *Store) {
+		s.stride = tuple.ID(stride)
+		s.offset = tuple.ID(offset)
+		s.nextID = s.offset
+	}
+}
+
 // New creates an empty Store for the given schema.
 func New(schema *tuple.Schema, opts ...Option) *Store {
-	s := &Store{schema: schema, segSize: DefaultSegmentSize, restoreSeg: -1}
+	s := &Store{schema: schema, segSize: DefaultSegmentSize, stride: 1, restoreSeg: -1}
 	for _, o := range opts {
 		o(s)
 	}
 	return s
 }
+
+// aligned reports whether id belongs to this store's residue class.
+func (s *Store) aligned(id tuple.ID) bool {
+	return id >= s.offset && (id-s.offset)%s.stride == 0
+}
+
+// slotOf converts an aligned ID to its dense slot index.
+func (s *Store) slotOf(id tuple.ID) int { return int((id - s.offset) / s.stride) }
+
+// idAt converts a dense slot index back to its ID.
+func (s *Store) idAt(slot int) tuple.ID { return s.offset + tuple.ID(slot)*s.stride }
 
 // Schema returns the relation schema.
 func (s *Store) Schema() *tuple.Schema { return s.schema }
@@ -89,7 +123,7 @@ func (s *Store) Stats() Stats {
 	return Stats{
 		Live:        s.live,
 		Bytes:       s.bytes,
-		Inserted:    uint64(s.nextID),
+		Inserted:    uint64(s.slotOf(s.nextID)),
 		Evicted:     s.evictions,
 		SegsTotal:   len(s.segs),
 		SegsLive:    liveSegs,
@@ -109,9 +143,16 @@ func (s *Store) Insert(now clock.Tick, attrs []tuple.Value) (tuple.Tuple, error)
 }
 
 // AdvanceNextID raises the ID the next insert will receive to at least
-// id. Recovery uses it to restore the pre-crash allocation point so IDs
-// of evicted tuples are never reused.
+// id (rounded up to this store's residue class). Recovery uses it to
+// restore the pre-crash allocation point so IDs of evicted tuples are
+// never reused.
 func (s *Store) AdvanceNextID(id tuple.ID) {
+	if id <= s.nextID {
+		return
+	}
+	if rem := (id - s.offset) % s.stride; rem != 0 {
+		id += s.stride - rem
+	}
 	if id > s.nextID {
 		s.nextID = id
 	}
@@ -123,7 +164,7 @@ func (s *Store) AdvanceNextID(id tuple.ID) {
 // need not be contiguous.
 func (s *Store) allocID() tuple.ID {
 	for {
-		segIdx := int(uint64(s.nextID) / uint64(s.segSize))
+		segIdx := s.slotOf(s.nextID) / s.segSize
 		if segIdx >= len(s.segs) {
 			return s.nextID
 		}
@@ -131,7 +172,7 @@ func (s *Store) allocID() tuple.ID {
 		if sg != nil && !sg.sealed {
 			return s.nextID
 		}
-		s.nextID = tuple.ID((segIdx + 1) * s.segSize)
+		s.nextID = s.idAt((segIdx + 1) * s.segSize)
 	}
 }
 
@@ -157,12 +198,15 @@ func (s *Store) InsertTuple(tp tuple.Tuple) error {
 // FinishRestore after the last tuple.
 func (s *Store) Restore(tp tuple.Tuple) error {
 	if tp.ID < s.nextID {
-		return fmt.Errorf("storage: restore id %d not increasing (next %d)", tp.ID, s.nextID)
+		return fmt.Errorf("storage: restore id %d not increasing (next %d): %w", tp.ID, s.nextID, ErrStaleRestore)
+	}
+	if !s.aligned(tp.ID) {
+		return fmt.Errorf("storage: restore id %d outside residue class (stride %d, offset %d)", tp.ID, s.stride, s.offset)
 	}
 	if err := s.schema.Validate(tp.Attrs); err != nil {
 		return err
 	}
-	segIdx := int(uint64(tp.ID) / uint64(s.segSize))
+	segIdx := s.slotOf(tp.ID) / s.segSize
 	for len(s.segs) <= segIdx {
 		s.segs = append(s.segs, nil)
 	}
@@ -176,17 +220,17 @@ func (s *Store) Restore(tp tuple.Tuple) error {
 		s.restoreSeg = segIdx
 	}
 	if s.segs[segIdx] == nil {
-		s.segs[segIdx] = newSegment(tuple.ID(segIdx*s.segSize), s.segSize)
+		s.segs[segIdx] = newSegment(s.idAt(segIdx*s.segSize), s.segSize, s.stride)
 	}
 	sg := s.segs[segIdx]
-	if tp.ID != sg.base+tuple.ID(len(sg.tuples)) {
+	if tp.ID != sg.base+tuple.ID(len(sg.tuples))*s.stride {
 		sg.sparse = true
 	}
 	sg.tuples = append(sg.tuples, tp)
 	sg.dead = append(sg.dead, false)
 	sg.live++
 	sg.bytes += tp.Size()
-	s.nextID = tp.ID + 1
+	s.nextID = tp.ID + s.stride
 	s.live++
 	s.bytes += tp.Size()
 	return nil
@@ -211,7 +255,7 @@ func (s *Store) FinishRestore() {
 }
 
 func (s *Store) insertRaw(tp tuple.Tuple) {
-	segIdx := int(uint64(tp.ID) / uint64(s.segSize))
+	segIdx := s.slotOf(tp.ID) / s.segSize
 	if segIdx >= len(s.segs) && len(s.segs) > 0 {
 		// Moving past the current tail: it will never receive another
 		// append (IDs only grow), so seal it to keep drop-when-empty.
@@ -220,10 +264,10 @@ func (s *Store) insertRaw(tp tuple.Tuple) {
 		}
 	}
 	for len(s.segs) <= segIdx {
-		s.segs = append(s.segs, newSegment(tuple.ID(len(s.segs)*s.segSize), s.segSize))
+		s.segs = append(s.segs, newSegment(s.idAt(len(s.segs)*s.segSize), s.segSize, s.stride))
 	}
 	s.segs[segIdx].append(tp)
-	s.nextID++
+	s.nextID += s.stride
 	s.live++
 	s.bytes += tp.Size()
 }
@@ -250,7 +294,10 @@ func (s *Store) peek(id tuple.ID) *tuple.Tuple {
 }
 
 func (s *Store) segOf(id tuple.ID) *segment {
-	segIdx := int(uint64(id) / uint64(s.segSize))
+	if !s.aligned(id) {
+		return nil
+	}
+	segIdx := s.slotOf(id) / s.segSize
 	if segIdx < s.first || segIdx >= len(s.segs) {
 		return nil
 	}
@@ -280,7 +327,10 @@ func (s *Store) Update(id tuple.ID, fn func(*tuple.Tuple)) error {
 // tuple is evicted is dropped and its memory released — the paper's
 // "removing complete insertion ranges".
 func (s *Store) Evict(id tuple.ID) error {
-	segIdx := int(uint64(id) / uint64(s.segSize))
+	if !s.aligned(id) {
+		return ErrNotFound
+	}
+	segIdx := s.slotOf(id) / s.segSize
 	if segIdx < s.first || segIdx >= len(s.segs) || s.segs[segIdx] == nil {
 		return ErrNotFound
 	}
@@ -337,16 +387,17 @@ func (s *Store) ScanIDs(dst []tuple.ID) []tuple.ID {
 }
 
 // PrevLive returns the nearest live tuple ID strictly before id on the
-// time axis, with ok=false when none exists. id itself need not be live.
+// time axis, with ok=false when none exists. id itself need not be live
+// or belong to this store's residue class.
 func (s *Store) PrevLive(id tuple.ID) (tuple.ID, bool) {
-	if id == 0 {
+	if id <= s.offset {
 		return 0, false
 	}
-	bound := id - 1 // largest candidate ID
-	segIdx := int(uint64(bound) / uint64(s.segSize))
+	bound := id - 1 // largest candidate ID (ID-space; may be unaligned)
+	segIdx := s.slotOf(bound-(bound-s.offset)%s.stride) / s.segSize
 	if segIdx >= len(s.segs) {
 		segIdx = len(s.segs) - 1
-		bound = tuple.ID(len(s.segs)*s.segSize) - 1
+		bound = s.idAt(len(s.segs)*s.segSize) - 1
 	}
 	for i := segIdx; i >= s.first; i-- {
 		sg := s.segs[i]
@@ -358,19 +409,25 @@ func (s *Store) PrevLive(id tuple.ID) (tuple.ID, bool) {
 		if i == 0 {
 			break
 		}
-		bound = tuple.ID(i*s.segSize) - 1
+		bound = s.idAt(i*s.segSize) - 1
 	}
 	return 0, false
 }
 
 // NextLive returns the nearest live tuple ID strictly after id, with
-// ok=false when none exists.
+// ok=false when none exists. id need not belong to this store's residue
+// class.
 func (s *Store) NextLive(id tuple.ID) (tuple.ID, bool) {
-	bound := id + 1 // smallest candidate ID
-	segIdx := int(uint64(bound) / uint64(s.segSize))
+	bound := id + 1 // smallest candidate ID (ID-space; may be unaligned)
+	if bound < s.offset {
+		bound = s.offset
+	}
+	// Slot of the smallest aligned ID >= bound.
+	slot := int((bound - s.offset + s.stride - 1) / s.stride)
+	segIdx := slot / s.segSize
 	if segIdx < s.first {
 		segIdx = s.first
-		bound = tuple.ID(s.first) * tuple.ID(s.segSize)
+		bound = s.idAt(s.first * s.segSize)
 	}
 	for i := segIdx; i < len(s.segs); i++ {
 		sg := s.segs[i]
@@ -379,7 +436,7 @@ func (s *Store) NextLive(id tuple.ID) (tuple.ID, bool) {
 				return got, true
 			}
 		}
-		bound = tuple.ID(i+1) * tuple.ID(s.segSize)
+		bound = s.idAt((i + 1) * s.segSize)
 	}
 	return 0, false
 }
@@ -425,7 +482,7 @@ func (s *Store) FirstLive() (tuple.ID, bool) {
 // LastLive returns the largest live tuple ID, with ok=false when the
 // extent is empty.
 func (s *Store) LastLive() (tuple.ID, bool) {
-	if s.nextID == 0 {
+	if s.nextID == s.offset {
 		return 0, false
 	}
 	return s.PrevLive(s.nextID)

@@ -9,6 +9,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"fungusdb/internal/storage"
 	"fungusdb/internal/tuple"
@@ -22,11 +23,27 @@ const (
 
 var snapshotMagic = [8]byte{'F', 'D', 'B', 'S', 'N', 'A', 'P', '1'}
 
+// Extent is the store surface persistence needs. Both *storage.Store
+// and *storage.ShardedStore implement it: snapshots are written in
+// global scan (ID) order and restored by routing each record back to
+// its owner, so a table can even be reopened with a different shard
+// count — IDs decide ownership, not file layout.
+type Extent interface {
+	Schema() *tuple.Schema
+	Len() int
+	NextID() tuple.ID
+	Scan(fn func(*tuple.Tuple) bool)
+	Restore(tp tuple.Tuple) error
+	FinishRestore()
+	AdvanceNextID(id tuple.ID)
+	Evict(id tuple.ID) error
+}
+
 // WriteSnapshot serialises every live tuple of store (with exact
 // freshness and infection state) to path, atomically via a temp file +
 // rename. Layout: magic, uvarint nextID, uvarint tuple count, tuples,
 // crc32c of everything after the magic.
-func WriteSnapshot(path string, store *storage.Store) (err error) {
+func WriteSnapshot(path string, store Extent) (err error) {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -85,91 +102,141 @@ func WriteSnapshot(path string, store *storage.Store) (err error) {
 
 // LoadSnapshot restores tuples from path into store (which must be
 // empty). A missing file is not an error and loads nothing.
-func LoadSnapshot(path string, store *storage.Store) error {
+func LoadSnapshot(path string, store Extent) error {
+	nextID, err := loadSnapshot(path, store)
+	if err != nil {
+		return err
+	}
+	store.FinishRestore()
+	// Resume ID allocation where the snapshotted store left off, so IDs
+	// of tuples evicted before the snapshot are never reused.
+	store.AdvanceNextID(nextID)
+	return nil
+}
+
+// loadSnapshot restores the snapshot body without touching allocation
+// cursors, returning the header's next-ID high-water mark. RecoverInto
+// needs the raw form: advancing cursors before WAL replay would make a
+// lagging shard's logged post-checkpoint inserts look stale (the header
+// records only the global maximum, which rounds up per shard).
+func loadSnapshot(path string, store Extent) (tuple.ID, error) {
 	data, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return nil
+		return 0, nil
 	}
 	if err != nil {
-		return fmt.Errorf("wal: snapshot read: %w", err)
+		return 0, fmt.Errorf("wal: snapshot read: %w", err)
 	}
 	if len(data) < len(snapshotMagic)+4 {
-		return fmt.Errorf("wal: snapshot truncated (%d bytes)", len(data))
+		return 0, fmt.Errorf("wal: snapshot truncated (%d bytes)", len(data))
 	}
 	for i, b := range snapshotMagic {
 		if data[i] != b {
-			return fmt.Errorf("wal: bad snapshot magic")
+			return 0, fmt.Errorf("wal: bad snapshot magic")
 		}
 	}
 	body := data[len(snapshotMagic) : len(data)-4]
 	wantCRC := binary.LittleEndian.Uint32(data[len(data)-4:])
 	if crc32.Checksum(body, crcTable) != wantCRC {
-		return fmt.Errorf("wal: snapshot crc mismatch")
+		return 0, fmt.Errorf("wal: snapshot crc mismatch")
 	}
 
 	pos := 0
 	nextID, w := binary.Uvarint(body[pos:])
 	if w <= 0 {
-		return fmt.Errorf("wal: snapshot bad nextID")
+		return 0, fmt.Errorf("wal: snapshot bad nextID")
 	}
 	pos += w
 	count, w := binary.Uvarint(body[pos:])
 	if w <= 0 {
-		return fmt.Errorf("wal: snapshot bad count")
+		return 0, fmt.Errorf("wal: snapshot bad count")
 	}
 	pos += w
 	for i := uint64(0); i < count; i++ {
 		tp, n, err := tuple.Decode(body[pos:], store.Schema())
 		if err != nil {
-			return fmt.Errorf("wal: snapshot tuple %d: %w", i, err)
+			return 0, fmt.Errorf("wal: snapshot tuple %d: %w", i, err)
 		}
 		pos += n
 		if err := store.Restore(tp); err != nil {
-			return fmt.Errorf("wal: snapshot tuple %d: %w", i, err)
+			return 0, fmt.Errorf("wal: snapshot tuple %d: %w", i, err)
 		}
 	}
-	store.FinishRestore()
-	// Resume ID allocation where the snapshotted store left off, so IDs
-	// of tuples evicted before the snapshot are never reused.
-	store.AdvanceNextID(tuple.ID(nextID))
-	return nil
+	return tuple.ID(nextID), nil
 }
 
-// Recover rebuilds a store from the snapshot and WAL in dir. Records
-// that predate the snapshot (possible when a crash interrupted a
-// checkpoint between snapshot rename and log truncation) are skipped.
+// Recover rebuilds a plain store from the snapshot and WAL in dir.
 func Recover(dir string, schema *tuple.Schema, opts ...storage.Option) (*storage.Store, error) {
 	store := storage.New(schema, opts...)
-	if err := LoadSnapshot(filepath.Join(dir, SnapshotFile), store); err != nil {
+	if err := RecoverInto(dir, store); err != nil {
 		return nil, err
 	}
-	err := Replay(filepath.Join(dir, LogFile), func(rec Rec) error {
+	return store, nil
+}
+
+// RecoverInto replays the snapshot and WAL in dir into an empty extent.
+// Records that predate the snapshot (possible when a crash interrupted
+// a checkpoint between snapshot rename and log truncation) are skipped.
+// A sharded extent routes every record to its owning shard by ID, so
+// recovery works even when the shard count changed since the files were
+// written.
+//
+// Concurrent shards append log records in per-shard (not global) ID
+// order, and a different shard count re-partitions the residue classes,
+// so the raw log stream need not be monotonic per NEW shard. Replay
+// therefore buffers the log tail, sorts inserts by ID (restoring
+// per-shard monotonicity under any partitioning) and applies evictions
+// afterwards — IDs are never reused, so insert-then-evict commutes to
+// the same final extent.
+func RecoverInto(dir string, store Extent) error {
+	hdrNext, err := loadSnapshot(filepath.Join(dir, SnapshotFile), store)
+	if err != nil {
+		return err
+	}
+	var inserts []tuple.Tuple
+	var evicts []tuple.ID
+	err = Replay(filepath.Join(dir, LogFile), func(rec Rec) error {
 		switch rec.Type {
 		case RecInsert:
-			if rec.Tuple.ID < store.NextID() {
-				return nil // already in the snapshot
-			}
-			return store.Restore(rec.Tuple)
+			inserts = append(inserts, rec.Tuple)
+			return nil
 		case RecEvict:
-			if err := store.Evict(rec.ID); err != nil && !errors.Is(err, storage.ErrNotFound) {
-				return err
-			}
+			evicts = append(evicts, rec.ID)
 			return nil
 		}
 		return fmt.Errorf("wal: recover: unknown record %d", rec.Type)
 	})
 	if err != nil {
-		return nil, err
+		return err
+	}
+	sort.Slice(inserts, func(i, j int) bool { return inserts[i].ID < inserts[j].ID })
+	for _, tp := range inserts {
+		// A record behind the owning shard's cursor is already in the
+		// snapshot; the staleness check lives in the store so it is per
+		// shard, not against the global high-water mark.
+		if err := store.Restore(tp); err != nil && !errors.Is(err, storage.ErrStaleRestore) {
+			return err
+		}
+	}
+	for _, id := range evicts {
+		if err := store.Evict(id); err != nil && !errors.Is(err, storage.ErrNotFound) {
+			return err
+		}
 	}
 	store.FinishRestore()
-	return store, nil
+	// Advance allocation cursors only AFTER replay: the header records
+	// the global maximum, which rounds up per shard — doing this first
+	// would make a lagging shard's logged post-checkpoint inserts look
+	// stale and silently drop them.
+	store.AdvanceNextID(hdrNext)
+	return nil
 }
 
 // Checkpoint writes a fresh snapshot of store into dir and truncates the
 // log. The order (snapshot first, truncate second) keeps every state
 // recoverable: a crash in between replays stale records, which Recover
 // skips.
-func Checkpoint(dir string, store *storage.Store, log *Log) error {
+func Checkpoint(dir string, store Extent, log *Log) error {
 	if err := WriteSnapshot(filepath.Join(dir, SnapshotFile), store); err != nil {
 		return err
 	}
@@ -179,6 +246,8 @@ func Checkpoint(dir string, store *storage.Store, log *Log) error {
 // Truncate discards all logged records. The caller must have captured
 // the state elsewhere (see Checkpoint).
 func (l *Log) Truncate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if err := l.w.Flush(); err != nil {
 		return fmt.Errorf("wal: truncate flush: %w", err)
 	}

@@ -23,6 +23,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync"
 
 	"fungusdb/internal/tuple"
 )
@@ -45,8 +46,13 @@ type Rec struct {
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
-// Log is an append-only WAL writer. It is not safe for concurrent use.
+// Log is an append-only WAL writer. Appends, syncs and truncation are
+// internally serialised so the engine's shards can log concurrently;
+// callers that need record ORDER guarantees (per-shard ID monotonicity)
+// must provide them externally — the engine appends while holding the
+// owning shard's lock.
 type Log struct {
+	mu  sync.Mutex
 	f   *os.File
 	w   *bufio.Writer
 	buf []byte
@@ -63,6 +69,8 @@ func Open(path string) (*Log, error) {
 
 // AppendInsert logs the insertion of tp.
 func (l *Log) AppendInsert(tp tuple.Tuple) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	l.buf = l.buf[:0]
 	l.buf = append(l.buf, byte(RecInsert))
 	l.buf = tuple.AppendEncode(l.buf, tp)
@@ -71,6 +79,8 @@ func (l *Log) AppendInsert(tp tuple.Tuple) error {
 
 // AppendEvict logs the eviction of id (rot or consume).
 func (l *Log) AppendEvict(id tuple.ID) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	l.buf = l.buf[:0]
 	l.buf = append(l.buf, byte(RecEvict))
 	l.buf = binary.LittleEndian.AppendUint64(l.buf, uint64(id))
@@ -92,6 +102,8 @@ func (l *Log) appendFramed(payload []byte) error {
 
 // Sync flushes buffered records and fsyncs the file.
 func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if err := l.w.Flush(); err != nil {
 		return fmt.Errorf("wal: flush: %w", err)
 	}
@@ -103,6 +115,8 @@ func (l *Log) Sync() error {
 
 // Close flushes and closes the log.
 func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if err := l.w.Flush(); err != nil {
 		l.f.Close()
 		return fmt.Errorf("wal: flush on close: %w", err)
