@@ -1,0 +1,61 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: fungusdb
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkShardedTick/shards=1-8         	     494	    450496 ns/op	     944 B/op	      11 allocs/op
+BenchmarkShardedTick/shards=1-8         	     501	    440000 ns/op	     940 B/op	      11 allocs/op
+BenchmarkRecovery/shards=4-8            	      38	  13965574 ns/op	10544013 B/op	  140199 allocs/op
+PASS
+ok  	fungusdb	21.319s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	rep, err := parseBenchOutput(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" {
+		t.Errorf("platform = %s/%s", rep.GOOS, rep.GOARCH)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	// Sorted by name, GOMAXPROCS suffix stripped, min ns/op kept.
+	tick := rep.Benchmarks[1]
+	if tick.Name != "BenchmarkShardedTick/shards=1" {
+		t.Errorf("name = %q (suffix not stripped?)", tick.Name)
+	}
+	if tick.NsPerOp != 440000 || tick.Runs != 2 {
+		t.Errorf("tick = %+v, want min 440000 over 2 runs", tick)
+	}
+	if tick.BytesPerOp != 940 || tick.AllocsPerOp != 11 {
+		t.Errorf("tick mem metrics = %+v", tick)
+	}
+}
+
+func TestCompareReportsGate(t *testing.T) {
+	base := BenchReport{Benchmarks: []BenchEntry{
+		{Name: "BenchmarkA", NsPerOp: 1000},
+		{Name: "BenchmarkB", NsPerOp: 1000},
+		{Name: "BenchmarkGone", NsPerOp: 1000},
+	}}
+	cur := BenchReport{Benchmarks: []BenchEntry{
+		{Name: "BenchmarkA", NsPerOp: 1240}, // +24%: inside tolerance
+		{Name: "BenchmarkB", NsPerOp: 1300}, // +30%: regression
+		{Name: "BenchmarkNew", NsPerOp: 500},
+	}}
+	if n := compareReports(base, cur, 0.25, io.Discard); n != 1 {
+		t.Errorf("regressions = %d, want 1 (only BenchmarkB; missing/new entries never fail)", n)
+	}
+	if n := compareReports(base, cur, 0.50, io.Discard); n != 0 {
+		t.Errorf("regressions at +50%% tolerance = %d, want 0", n)
+	}
+}

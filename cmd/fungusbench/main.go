@@ -4,10 +4,13 @@
 // Usage:
 //
 //	fungusbench [-exp E1|E2|...|all] [-scale 1.0] [-seed N]
+//	fungusbench -benchjson bench.txt [-benchout BENCH_ci.json]
+//	            [-baseline BENCH_baseline.json] [-tolerance 0.25]
 //
 // Each experiment prints an aligned text table; figure experiments
 // print their series as rows. Scale < 1 shrinks the workloads
 // proportionally (tests use 0.05); the shapes are scale-invariant.
+// The -benchjson mode is the CI benchmark tracker: see benchjson.go.
 package main
 
 import (
@@ -24,7 +27,15 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale factor")
 	seed := flag.Int64("seed", 20150104, "deterministic seed")
 	shards := flag.Int("shards", 1, "extent shards per table (1 = pre-sharding engine)")
+	benchIn := flag.String("benchjson", "", "parse `go test -bench` output from this file ('-' = stdin) into JSON and exit")
+	benchOut := flag.String("benchout", "BENCH_ci.json", "JSON report path for -benchjson")
+	baseline := flag.String("baseline", "", "baseline JSON to gate against (with -benchjson)")
+	tolerance := flag.Float64("tolerance", 0.25, "max allowed ns/op growth vs -baseline before failing")
 	flag.Parse()
+
+	if *benchIn != "" {
+		os.Exit(runBenchJSON(*benchIn, *benchOut, *baseline, *tolerance))
+	}
 
 	cfg := sim.Config{Scale: *scale, Seed: *seed, Shards: *shards}
 

@@ -38,9 +38,10 @@ var defaultShards = flag.Int("shards", 1, "default shard count for created table
 func main() {
 	dir := flag.String("dir", "", "data directory (empty = in-memory)")
 	seed := flag.Int64("seed", 1, "deterministic seed")
+	recoveryPar := flag.Int("recovery-parallelism", 0, "goroutines replaying per-shard WAL files at reopen (0 = worker pool size)")
 	flag.Parse()
 
-	db, err := core.Open(core.DBConfig{Seed: *seed, Dir: *dir})
+	db, err := core.Open(core.DBConfig{Seed: *seed, Dir: *dir, RecoveryParallelism: *recoveryPar})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fungusctl:", err)
 		os.Exit(1)
@@ -463,6 +464,9 @@ func (s *shell) stats(args []string) error {
 	fmt.Fprintln(s.out, tbl.Counters())
 	st := tbl.StoreStats()
 	fmt.Fprintf(s.out, "segments: %d live / %d total, %d dropped\n", st.SegsLive, st.SegsTotal, st.SegsDropped)
+	if wi := tbl.WALInfo(); wi.Persistent {
+		fmt.Fprintf(s.out, "wal: %d shard logs, snapshot generation %d\n", wi.LogShards, wi.Generation)
+	}
 	return nil
 }
 

@@ -26,9 +26,10 @@ func main() {
 	dir := flag.String("dir", "", "data directory (empty = in-memory)")
 	period := flag.Duration("period", time.Second, "wall time per decay tick")
 	seed := flag.Int64("seed", 20150104, "deterministic seed")
+	recoveryPar := flag.Int("recovery-parallelism", 0, "goroutines replaying per-shard WAL files at reopen (0 = worker pool size)")
 	flag.Parse()
 
-	db, err := core.Open(core.DBConfig{Seed: *seed, Dir: *dir})
+	db, err := core.Open(core.DBConfig{Seed: *seed, Dir: *dir, RecoveryParallelism: *recoveryPar})
 	if err != nil {
 		log.Fatalf("fungusd: %v", err)
 	}

@@ -47,6 +47,10 @@ type DBConfig struct {
 	// to Workers^2 goroutines briefly. 0 means GOMAXPROCS; 1 forces the
 	// fully serial engine.
 	Workers int
+	// RecoveryParallelism bounds the per-shard WAL replay fan-out when a
+	// persistent table reopens (each shard's snapshot + log recovers on
+	// its own goroutine). 0 means Workers; 1 forces serial recovery.
+	RecoveryParallelism int
 }
 
 // DB is a FungusDB instance.
@@ -180,7 +184,7 @@ func (db *DB) CreateTable(name string, cfg TableConfig) (*Table, error) {
 	for _, r := range name {
 		seed = seed*1099511628211 + int64(r)
 	}
-	t, err := newTable(name, cfg, db.clk, seed, dir, db.cfg.Workers)
+	t, err := newTable(name, cfg, db.clk, seed, dir, db.cfg.Workers, db.cfg.RecoveryParallelism)
 	if err != nil {
 		return nil, err
 	}

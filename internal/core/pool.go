@@ -3,54 +3,16 @@ package core
 import (
 	"math/rand"
 	"sync"
-	"sync/atomic"
+
+	"fungusdb/internal/fanout"
 )
 
 // fanOut runs fn(0..n-1) over a bounded pool of at most `workers`
-// goroutines and waits for all of them. Every index runs even when an
-// earlier one fails; the error returned is the lowest-index one, so
-// error selection is deterministic regardless of scheduling. With one
-// worker (or one item) everything runs inline on the caller's
-// goroutine — a one-shard table pays no synchronisation at all.
+// goroutines and waits for all of them (see internal/fanout for the
+// contract: every index runs, lowest-index error wins, one worker runs
+// inline).
 func fanOut(n, workers int, fn func(i int) error) error {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 || n <= 1 {
-		// Same contract as the pooled path: every index runs, lowest-
-		// index error wins — which work completes must not depend on
-		// the worker count.
-		var first error
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil && first == nil {
-				first = err
-			}
-		}
-		return first
-	}
-	errs := make([]error, n)
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(cursor.Add(1) - 1)
-				if i >= n {
-					return
-				}
-				errs[i] = fn(i)
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return fanout.Run(n, workers, fn)
 }
 
 // lockedSource serialises a rand.Source64 so one *rand.Rand can be

@@ -2,13 +2,17 @@ package core
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
 
 	"fungusdb/internal/fungus"
 	"fungusdb/internal/query"
+	"fungusdb/internal/storage"
 	"fungusdb/internal/tuple"
+	"fungusdb/internal/wal"
 	"fungusdb/internal/workload"
 )
 
@@ -315,5 +319,72 @@ func TestShardedBatchInsert(t *testing.T) {
 	}
 	if got := tbl.Shards(); got != 3 {
 		t.Fatalf("Shards() = %d", got)
+	}
+}
+
+// TestLegacySingleLogDirMigratesOnOpen: a table directory written by
+// the old one-log-per-table engine (snapshot.db + wal.log, no manifest)
+// must open through CreateTable unchanged — recovery migrates it in
+// place to the per-shard layout and the data survives further restarts.
+func TestLegacySingleLogDirMigratesOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	schema := tuple.MustSchema(tuple.Column{Name: "v", Kind: tuple.KindInt})
+	tdir := filepath.Join(dir, "p")
+	if err := os.MkdirAll(tdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	st := storage.New(schema)
+	log, err := wal.Open(filepath.Join(tdir, wal.LogFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		tp, err := st.Insert(1, Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := log.AppendInsert(tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wal.Checkpoint(tdir, st, log); err != nil {
+		t.Fatal(err)
+	}
+	tp, err := st.Insert(2, Row(30)) // post-checkpoint, log only
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log.AppendInsert(tp); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for pass := 0; pass < 2; pass++ { // second pass reopens the migrated layout
+		db, err := Open(DBConfig{Seed: 1, Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl, err := db.CreateTable("p", TableConfig{Schema: schema, Shards: 4, Persist: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tbl.Len() != 31 {
+			t.Fatalf("pass %d: recovered %d tuples, want 31", pass, tbl.Len())
+		}
+		wi := tbl.WALInfo()
+		if !wi.Persistent || wi.LogShards != 4 {
+			t.Fatalf("pass %d: WALInfo = %+v, want 4 persistent shard logs", pass, wi)
+		}
+		if _, err := os.Stat(filepath.Join(tdir, wal.LogFile)); err == nil {
+			t.Fatalf("pass %d: legacy wal.log survived migration", pass)
+		}
+		if _, err := os.Stat(filepath.Join(tdir, wal.ManifestFile)); err != nil {
+			t.Fatalf("pass %d: no manifest after migration: %v", pass, err)
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
 	}
 }

@@ -79,9 +79,10 @@ type TableTickReport struct {
 // laws. Cross-shard operations acquire shard locks in ascending index
 // order. mu guards table metadata (counters, checkpoint scheduling)
 // and orders shelf absorption; it is only ever acquired after shard
-// locks, never before one. WAL appends happen under the owning shard's
-// lock, which is what keeps each shard's record sequence monotonic for
-// recovery.
+// locks, never before one. Each shard appends to its OWN WAL file
+// under its own lock — no cross-shard mutex, no record interleaving —
+// which keeps every shard log locally ID-ordered so recovery can
+// replay the logs in parallel with no buffering or sorting.
 type Table struct {
 	name    string
 	cfg     TableConfig
@@ -98,12 +99,11 @@ type Table struct {
 	ctrs      metrics.Counters
 	mutations int
 
-	dir    string
-	log    *wal.Log
+	log    *wal.ShardedLog
 	closed atomic.Bool
 }
 
-func newTable(name string, cfg TableConfig, clk clock.Clock, seed int64, dir string, workers int) (*Table, error) {
+func newTable(name string, cfg TableConfig, clk clock.Clock, seed int64, dir string, workers, recoveryPar int) (*Table, error) {
 	if cfg.Fungus == nil {
 		cfg.Fungus = fungus.Null{}
 	}
@@ -120,6 +120,9 @@ func newTable(name string, cfg TableConfig, clk clock.Clock, seed int64, dir str
 	if cfg.SegmentSize > 0 {
 		opts = append(opts, storage.WithSegmentSize(cfg.SegmentSize))
 	}
+	if recoveryPar < 1 {
+		recoveryPar = workers
+	}
 	n := cfg.Shards
 	t := &Table{
 		name:    name,
@@ -130,7 +133,6 @@ func newTable(name string, cfg TableConfig, clk clock.Clock, seed int64, dir str
 		rngs:    make([]*rand.Rand, n),
 		rotBufs: make([][]tuple.ID, n),
 		workers: workers,
-		dir:     dir,
 	}
 	// Shard 0 draws from the table stream (shared with the shelf, via a
 	// locked source); shard i > 0 gets its own stream derived from
@@ -145,10 +147,14 @@ func newTable(name string, cfg TableConfig, clk clock.Clock, seed int64, dir str
 	}
 	t.store = storage.NewSharded(cfg.Schema, n, opts...)
 	if dir != "" {
-		if err := wal.RecoverInto(dir, t.store); err != nil {
+		// RecoverSharded replays the per-shard logs in parallel (bounded
+		// by recoveryPar) and leaves the directory in the canonical
+		// per-shard layout, migrating old single-log directories and
+		// re-routing records when the shard count changed.
+		if err := wal.RecoverSharded(dir, t.store, recoveryPar); err != nil {
 			return nil, fmt.Errorf("core: recover table %q: %w", name, err)
 		}
-		log, err := wal.Open(walPath(dir))
+		log, err := wal.OpenSharded(dir, n)
 		if err != nil {
 			return nil, err
 		}
@@ -157,8 +163,6 @@ func newTable(name string, cfg TableConfig, clk clock.Clock, seed int64, dir str
 	t.shelf = container.NewShelf(cfg.Schema, cfg.Digest, t.rngs[0])
 	return t, nil
 }
-
-func walPath(dir string) string { return dir + "/" + wal.LogFile }
 
 // Name returns the table name.
 func (t *Table) Name() string { return t.name }
@@ -266,7 +270,7 @@ func (t *Table) Insert(attrs []tuple.Value) (tuple.Tuple, error) {
 	tp, err := t.store.InsertShard(i, now, attrs)
 	inStore := err == nil
 	if err == nil && t.log != nil {
-		err = t.log.AppendInsert(tp)
+		err = t.log.AppendInsert(i, tp)
 	}
 	t.shardMu[i].Unlock()
 	// Count every tuple that reached the store, even when logging it
@@ -338,7 +342,7 @@ func (t *Table) InsertBatch(rows [][]tuple.Value) ([]tuple.Tuple, error) {
 			results[r] = tp
 			inserted.Add(1)
 			if t.log != nil {
-				if err := t.log.AppendInsert(tp); err != nil {
+				if err := t.log.AppendInsert(i, tp); err != nil {
 					return err
 				}
 			}
@@ -595,7 +599,7 @@ func (t *Table) consumeLocked(pred *query.Predicate, opt QueryOpts) (*query.Resu
 			egi.Forget(id)
 		}
 		if t.log != nil {
-			if err := t.log.AppendEvict(id); err != nil {
+			if err := t.log.AppendEvict(s, id); err != nil {
 				return nil, false, err
 			}
 		}
@@ -762,7 +766,7 @@ func (t *Table) Tick() (TableTickReport, error) {
 					return fmt.Errorf("core: rot evict: %w", err)
 				}
 				if t.log != nil {
-					if err := t.log.AppendEvict(id); err != nil {
+					if err := t.log.AppendEvict(i, id); err != nil {
 						return err
 					}
 				}
@@ -812,6 +816,29 @@ func (t *Table) Tick() (TableTickReport, error) {
 	return rep, nil
 }
 
+// WALInfo describes a table's persistence layout.
+type WALInfo struct {
+	// Persistent reports whether the table has a WAL at all.
+	Persistent bool
+	// LogShards is the number of per-shard WAL files.
+	LogShards int
+	// Generation is the committed snapshot generation (0 = no
+	// checkpoint has completed yet).
+	Generation uint64
+}
+
+// WALInfo returns the table's current persistence layout; the zero
+// value means the table is in-memory only (or closed).
+func (t *Table) WALInfo() WALInfo {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.log == nil {
+		return WALInfo{}
+	}
+	m := t.log.Manifest()
+	return WALInfo{Persistent: true, LogShards: m.Shards, Generation: m.Generation}
+}
+
 // Compact reclaims tombstone space in sealed segments of every shard.
 func (t *Table) Compact() int {
 	t.lockAll()
@@ -836,9 +863,10 @@ func (t *Table) noteMutationLocked(n int) bool {
 	return false
 }
 
-// Checkpoint snapshots a persistent table and truncates its WAL. All
-// shard locks are held for the duration, so the snapshot is one
-// consistent cut and no append can fall between the snapshot and the
+// Checkpoint snapshots a persistent table (every shard concurrently,
+// committed by the WAL manifest) and truncates the per-shard logs. All
+// shard locks are held for the duration, so the snapshot set is one
+// consistent cut and no append can fall between the snapshots and the
 // truncation.
 func (t *Table) Checkpoint() error {
 	t.lockAll()
@@ -857,7 +885,7 @@ func (t *Table) checkpointHeld() error {
 		}
 		return fmt.Errorf("core: table %q is not persistent", t.name)
 	}
-	if err := wal.Checkpoint(t.dir, t.store, t.log); err != nil {
+	if err := t.log.Checkpoint(t.store, t.workers); err != nil {
 		return err
 	}
 	t.mu.Lock()

@@ -1,0 +1,56 @@
+// Package fanout provides the bounded worker pool shared by the engine
+// (internal/core) and WAL (internal/wal) layers. It is a leaf package so
+// both sides of the core→wal import edge can use one implementation.
+package fanout
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Run runs fn(0..n-1) over a bounded pool of at most `workers`
+// goroutines and waits for all of them. Every index runs even when an
+// earlier one fails; the error returned is the lowest-index one, so
+// error selection is deterministic regardless of scheduling. With one
+// worker (or one item) everything runs inline on the caller's
+// goroutine — a one-shard table pays no synchronisation at all.
+func Run(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		// Same contract as the pooled path: every index runs, lowest-
+		// index error wins — which work completes must not depend on
+		// the worker count.
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

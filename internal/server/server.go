@@ -255,6 +255,12 @@ type StatsResponse struct {
 	Queries     uint64  `json:"queries"`
 	Ticks       uint64  `json:"ticks"`
 	CaptureRate float64 `json:"capture_rate"`
+	// WALShards and WALGeneration describe the persistence layout (one
+	// WAL file per shard, snapshots committed by generation); both are
+	// omitted for in-memory tables.
+	WALShards     int    `json:"wal_shards,omitempty"`
+	WALGeneration uint64 `json:"wal_generation,omitempty"`
+	Persistent    bool   `json:"persistent"`
 }
 
 func (s *Server) tableStats(w http.ResponseWriter, r *http.Request) {
@@ -264,11 +270,13 @@ func (s *Server) tableStats(w http.ResponseWriter, r *http.Request) {
 	}
 	p := tbl.Profile()
 	c := tbl.Counters()
+	wi := tbl.WALInfo()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Live: p.Live, Shards: tbl.Shards(), Bytes: p.Bytes, MeanFresh: p.Mean, Infected: p.Infected,
 		Inserted: c.Inserted, Rotted: c.Rotted, Consumed: c.Consumed,
 		Distilled: c.DistilledRot + c.DistilledQuery,
 		Queries:   c.Queries, Ticks: c.Ticks, CaptureRate: c.CaptureRate(),
+		WALShards: wi.LogShards, WALGeneration: wi.Generation, Persistent: wi.Persistent,
 	})
 }
 

@@ -110,6 +110,18 @@ func (ss *ShardedStore) NextID() tuple.ID {
 	return max
 }
 
+// ShardNextIDs returns each shard's allocation cursor (the ID its next
+// insert will receive), indexed by shard. The per-shard WAL manifest
+// records these so recovery can restore every cursor exactly instead of
+// rounding all of them up from the global high-water mark.
+func (ss *ShardedStore) ShardNextIDs() []tuple.ID {
+	out := make([]tuple.ID, len(ss.shards))
+	for i, sh := range ss.shards {
+		out[i] = sh.NextID()
+	}
+	return out
+}
+
 // Stats aggregates the per-shard counters.
 func (ss *ShardedStore) Stats() Stats {
 	var out Stats

@@ -1,0 +1,419 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fungusdb/internal/storage"
+	"fungusdb/internal/tuple"
+)
+
+// Crash-injection tests for the per-shard WAL layout: torn tails must
+// stay local to their shard, a checkpoint is committed only by the
+// manifest rename, and old single-log directories migrate in place.
+
+// buildSharded inserts n round-robin rows into a fresh store+log pair
+// in dir, logging every insert to its shard's log.
+func buildSharded(t testing.TB, dir string, shards, n int) (*storage.ShardedStore, *ShardedLog) {
+	t.Helper()
+	ss := storage.NewSharded(walSchema, shards)
+	sl, err := OpenSharded(dir, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRows(t, ss, sl, n)
+	return ss, sl
+}
+
+func appendRows(t testing.TB, ss *storage.ShardedStore, sl *ShardedLog, n int) {
+	t.Helper()
+	for k := 0; k < n; k++ {
+		i := ss.NextShard()
+		tp, err := ss.InsertShard(i, 1, row("dev", int64(k)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sl.AppendInsert(i, tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// signature captures the full recovered state: IDs, insertion ticks,
+// freshness, infection and attributes in global scan order.
+func signature(ss *storage.ShardedStore) string {
+	var b strings.Builder
+	ss.Scan(func(tp *tuple.Tuple) bool {
+		fmt.Fprintf(&b, "%d|%d|%g|%v|%v\n", tp.ID, tp.T, tp.F, tp.Infected, tp.Attrs)
+		return true
+	})
+	return b.String()
+}
+
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// A torn tail in ONE shard's log loses only that shard's trailing
+// records: every other shard replays in full, and the torn log is
+// truncated at the tear so post-recovery appends are never hidden
+// behind garbage.
+func TestShardedTornTailIsolatedPerShard(t *testing.T) {
+	const shards, n = 4, 40
+	dir := t.TempDir()
+	_, sl := buildSharded(t, dir, shards, n)
+	if err := sl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear shard 2's log: chop a few trailing bytes mid-record.
+	tornPath := filepath.Join(dir, ShardLogFile(2))
+	data, err := os.ReadFile(tornPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(tornPath, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got := storage.NewSharded(walSchema, shards)
+	if err := RecoverSharded(dir, got, shards); err != nil {
+		t.Fatal(err)
+	}
+	// Shard 2 owned IDs 2, 6, ..., 38 (10 tuples); the tear loses
+	// exactly its last record. Everything else must be complete.
+	if got.Len() != n-1 {
+		t.Fatalf("recovered %d tuples, want %d (one torn record)", got.Len(), n-1)
+	}
+	if got.Contains(38) {
+		t.Error("torn final record of shard 2 came back")
+	}
+	for id := 0; id < n; id++ {
+		if id == 38 {
+			continue
+		}
+		if !got.Contains(tuple.ID(id)) {
+			t.Errorf("tuple %d lost to another shard's torn tail", id)
+		}
+	}
+	// The torn log was truncated at the tear, independently of the
+	// healthy shards.
+	fi, err := os.Stat(tornPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() >= int64(len(data)-3) {
+		t.Errorf("torn log not truncated: %d bytes (tear was at <%d)", fi.Size(), len(data)-3)
+	}
+	healthy, err := os.Stat(filepath.Join(dir, ShardLogFile(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healthy.Size() == 0 {
+		t.Error("healthy shard log truncated to zero")
+	}
+
+	// Appends after the truncation land on a clean tail and survive the
+	// next recovery.
+	sl2, err := OpenSharded(dir, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := tuple.New(42, 2, row("post", 42))
+	if err := sl2.AppendInsert(2, tp); err != nil {
+		t.Fatal(err)
+	}
+	if err := sl2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	again := storage.NewSharded(walSchema, shards)
+	if err := RecoverSharded(dir, again, shards); err != nil {
+		t.Fatal(err)
+	}
+	if !again.Contains(42) {
+		t.Error("append after torn-tail truncation lost")
+	}
+}
+
+// A crash BETWEEN the per-shard snapshot writes and the manifest commit
+// must fall back to the previous generation plus the untruncated logs —
+// the half-written next generation is invisible and gets cleaned up.
+func TestCrashBetweenSnapshotWriteAndManifestCommit(t *testing.T) {
+	const shards = 3
+	dir := t.TempDir()
+	ss, sl := buildSharded(t, dir, shards, 30)
+	if err := sl.Checkpoint(ss, shards); err != nil { // generation 1
+		t.Fatal(err)
+	}
+	appendRows(t, ss, sl, 15) // post-checkpoint, logged only
+	if err := ss.Evict(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := sl.AppendEvict(ss.ShardOf(4), 4); err != nil {
+		t.Fatal(err)
+	}
+	want := signature(ss)
+
+	// Simulate the next checkpoint crashing after its snapshots but
+	// before the manifest rename: generation-2 files appear, manifest
+	// still names generation 1, logs untouched.
+	for i := 0; i < shards; i++ {
+		if err := WriteSnapshot(filepath.Join(dir, shardSnapshotFile(2, i)), ss.Shard(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := storage.NewSharded(walSchema, shards)
+	if err := RecoverSharded(dir, got, shards); err != nil {
+		t.Fatal(err)
+	}
+	if s := signature(got); s != want {
+		t.Errorf("fallback to previous generation diverged:\ngot:\n%s\nwant:\n%s", s, want)
+	}
+	// The uncommitted generation was swept.
+	for i := 0; i < shards; i++ {
+		if _, err := os.Stat(filepath.Join(dir, shardSnapshotFile(2, i))); err == nil {
+			t.Errorf("uncommitted generation-2 snapshot %d survived recovery", i)
+		}
+	}
+}
+
+// A directory written by the old single-log engine must reopen through
+// in-place migration at any shard count, reproducing the pre-migration
+// extent exactly — and reopen identically again from the migrated
+// layout.
+func TestMigrateLegacySingleLogLayout(t *testing.T) {
+	legacy := t.TempDir()
+	// Old engine: 2-writer-shard store appending to ONE log, with a
+	// checkpoint mid-stream and post-checkpoint activity (including a
+	// consume) left in the log.
+	ss := storage.NewSharded(walSchema, 2)
+	log, err := Open(filepath.Join(legacy, LogFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	insert := func(k int) {
+		i := ss.NextShard()
+		tp, err := ss.InsertShard(i, 1, row("dev", int64(k)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := log.AppendInsert(tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < 20; k++ {
+		insert(k)
+	}
+	if err := Checkpoint(legacy, ss, log); err != nil {
+		t.Fatal(err)
+	}
+	for k := 20; k < 33; k++ {
+		insert(k)
+	}
+	for _, id := range []tuple.ID{3, 8, 25} {
+		if err := ss.Evict(id); err != nil {
+			t.Fatal(err)
+		}
+		if err := log.AppendEvict(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := signature(ss)
+
+	for _, shards := range []int{1, 4, 7} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			dir := copyDir(t, legacy)
+			got := storage.NewSharded(walSchema, shards)
+			if err := RecoverSharded(dir, got, shards); err != nil {
+				t.Fatal(err)
+			}
+			if s := signature(got); s != want {
+				t.Fatalf("migrated extent diverged from pre-migration contents:\ngot:\n%s\nwant:\n%s", s, want)
+			}
+			// Migration rewrote the directory: legacy files gone,
+			// manifest + per-shard snapshots committed.
+			for _, name := range []string{SnapshotFile, LogFile} {
+				if _, err := os.Stat(filepath.Join(dir, name)); err == nil {
+					t.Errorf("legacy file %s survived migration", name)
+				}
+			}
+			man, ok, err := loadManifest(dir)
+			if err != nil || !ok {
+				t.Fatalf("no manifest after migration: %v", err)
+			}
+			if man.Shards != shards {
+				t.Fatalf("manifest shards = %d, want %d", man.Shards, shards)
+			}
+
+			// Reopening the MIGRATED directory reproduces the same bytes.
+			again := storage.NewSharded(walSchema, shards)
+			if err := RecoverSharded(dir, again, shards); err != nil {
+				t.Fatal(err)
+			}
+			if s := signature(again); s != want {
+				t.Fatalf("migrated directory did not reopen identically:\ngot:\n%s\nwant:\n%s", s, want)
+			}
+			// IDs are never reused after migration.
+			tp, err := again.Insert(2, row("fresh", 99))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tp.ID < 33 {
+				t.Errorf("post-migration insert reused ID %d", tp.ID)
+			}
+		})
+	}
+}
+
+// Reopening a per-shard directory at a DIFFERENT shard count re-routes
+// every record to its new owner by ID residue and rewrites the layout.
+func TestRecoverShardedAcrossShardCounts(t *testing.T) {
+	src := t.TempDir()
+	ss, sl := buildSharded(t, src, 4, 40)
+	if err := sl.Checkpoint(ss, 4); err != nil {
+		t.Fatal(err)
+	}
+	appendRows(t, ss, sl, 13)
+	if err := ss.Evict(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := sl.AppendEvict(ss.ShardOf(10), 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := sl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := signature(ss)
+
+	for _, shards := range []int{1, 2, 7} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			dir := copyDir(t, src)
+			got := storage.NewSharded(walSchema, shards)
+			if err := RecoverSharded(dir, got, shards); err != nil {
+				t.Fatal(err)
+			}
+			if s := signature(got); s != want {
+				t.Fatalf("resharded extent diverged:\ngot:\n%s\nwant:\n%s", s, want)
+			}
+			man, ok, err := loadManifest(dir)
+			if err != nil || !ok {
+				t.Fatalf("no manifest after reshard: %v", err)
+			}
+			if man.Shards != shards {
+				t.Fatalf("manifest shards = %d, want %d", man.Shards, shards)
+			}
+			// Old-count logs were removed — their residue classes no
+			// longer match, so replaying them would misroute.
+			for i := 0; i < 8; i++ {
+				if fi, err := os.Stat(filepath.Join(dir, ShardLogFile(i))); err == nil && fi.Size() > 0 {
+					t.Errorf("old shard log %d survived reshard with %d bytes", i, fi.Size())
+				}
+			}
+			tp, err := got.Insert(2, row("fresh", 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tp.ID < 53 {
+				t.Errorf("post-reshard insert reused ID %d", tp.ID)
+			}
+		})
+	}
+}
+
+// Matched-count recovery restores every shard's allocation cursor
+// EXACTLY (from its own snapshot header), so the post-recovery insert
+// rotation continues where the pre-crash one left off — no rounding up
+// to the global high-water mark.
+func TestRecoverShardedPreservesPerShardCursors(t *testing.T) {
+	const shards = 4
+	dir := t.TempDir()
+	ss, sl := buildSharded(t, dir, shards, 10) // IDs 0..9: cursors 12,13,10,11
+	if err := sl.Checkpoint(ss, shards); err != nil {
+		t.Fatal(err)
+	}
+	if err := sl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := storage.NewSharded(walSchema, shards)
+	if err := RecoverSharded(dir, got, shards); err != nil {
+		t.Fatal(err)
+	}
+	wantCursors := ss.ShardNextIDs()
+	for i, next := range got.ShardNextIDs() {
+		if next != wantCursors[i] {
+			t.Errorf("shard %d cursor = %d, want %d", i, next, wantCursors[i])
+		}
+	}
+	// The next inserts continue the exact pre-crash ID sequence.
+	for want := tuple.ID(10); want < 14; want++ {
+		tp, err := got.Insert(2, row("cont", int64(want)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tp.ID != want {
+			t.Fatalf("post-recovery rotation broke: got ID %d, want %d", tp.ID, want)
+		}
+	}
+}
+
+// Checkpoint generations advance and supersede each other: the previous
+// generation's files are removed once the new manifest commits.
+func TestShardedCheckpointGenerations(t *testing.T) {
+	const shards = 2
+	dir := t.TempDir()
+	ss, sl := buildSharded(t, dir, shards, 8)
+	if err := sl.Checkpoint(ss, shards); err != nil {
+		t.Fatal(err)
+	}
+	appendRows(t, ss, sl, 4)
+	if err := sl.Checkpoint(ss, shards); err != nil {
+		t.Fatal(err)
+	}
+	if g := sl.Manifest().Generation; g != 2 {
+		t.Fatalf("generation = %d, want 2", g)
+	}
+	for i := 0; i < shards; i++ {
+		if _, err := os.Stat(filepath.Join(dir, shardSnapshotFile(1, i))); err == nil {
+			t.Errorf("generation-1 snapshot %d not removed", i)
+		}
+		if _, err := os.Stat(filepath.Join(dir, shardSnapshotFile(2, i))); err != nil {
+			t.Errorf("generation-2 snapshot %d missing: %v", i, err)
+		}
+	}
+	if err := sl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := storage.NewSharded(walSchema, shards)
+	if err := RecoverSharded(dir, got, shards); err != nil {
+		t.Fatal(err)
+	}
+	if s, want := signature(got), signature(ss); s != want {
+		t.Errorf("post-generation-2 recovery diverged:\ngot:\n%s\nwant:\n%s", s, want)
+	}
+}

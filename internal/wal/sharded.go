@@ -1,0 +1,525 @@
+package wal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"fungusdb/internal/fanout"
+	"fungusdb/internal/storage"
+	"fungusdb/internal/tuple"
+)
+
+// ManifestFile names the per-shard layout manifest within a table
+// directory. Its atomic rename is the checkpoint commit point.
+const ManifestFile = "wal.manifest.json"
+
+const manifestVersion = 1
+
+// Manifest describes a table directory in the per-shard layout: which
+// shard count the files were written at, which snapshot generation is
+// committed, and each shard's next-ID allocation cursor at that commit.
+type Manifest struct {
+	Version    int      `json:"version"`
+	Shards     int      `json:"shards"`
+	Generation uint64   `json:"generation"`
+	NextIDs    []uint64 `json:"next_ids,omitempty"`
+}
+
+// ShardLogFile returns the log file name of shard i.
+func ShardLogFile(i int) string { return fmt.Sprintf("wal.%d.log", i) }
+
+// shardSnapshotFile returns the snapshot file name of shard i at
+// generation gen. The generation is part of the name so a crashed
+// checkpoint's half-written next generation can never be confused with
+// the committed one.
+func shardSnapshotFile(gen uint64, i int) string {
+	return fmt.Sprintf("snapshot.%d.%d.db", gen, i)
+}
+
+func loadManifest(dir string) (Manifest, bool, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return Manifest{}, false, nil
+	}
+	if err != nil {
+		return Manifest{}, false, fmt.Errorf("wal: manifest read: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, false, fmt.Errorf("wal: manifest decode: %w", err)
+	}
+	if m.Version != manifestVersion || m.Shards < 1 {
+		return Manifest{}, false, fmt.Errorf("wal: manifest version %d / shards %d unsupported", m.Version, m.Shards)
+	}
+	return m, true, nil
+}
+
+// writeManifest commits m atomically: temp file, fsync, rename, then
+// directory fsync so the rename itself is durable.
+func writeManifest(dir string, m Manifest) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("wal: manifest encode: %w", err)
+	}
+	tmp := filepath.Join(dir, ManifestFile+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: manifest create: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: manifest write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: manifest sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: manifest close: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, ManifestFile)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: manifest rename: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// cursorsOf snapshots every shard's allocation cursor for the manifest.
+func cursorsOf(ss *storage.ShardedStore) []uint64 {
+	out := make([]uint64, ss.NumShards())
+	for i, id := range ss.ShardNextIDs() {
+		out[i] = uint64(id)
+	}
+	return out
+}
+
+// ShardedLog owns one append-only Log per shard plus the layout
+// manifest. Appends to different shards share no lock or file — the
+// engine appends shard i's records while holding shard i's lock, which
+// keeps each log locally ID-ordered with no cross-shard serialisation.
+type ShardedLog struct {
+	dir  string
+	logs []*Log
+
+	mu  sync.Mutex // guards man (checkpoint vs. stats readers)
+	man Manifest
+}
+
+// OpenSharded opens the per-shard logs of dir for appending, creating
+// the manifest (and empty logs) on first open. The directory must
+// already be in the per-shard layout at this shard count — callers
+// recover (and thereby migrate or reshard) via RecoverSharded first.
+func OpenSharded(dir string, shards int) (*ShardedLog, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	man, ok, err := loadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		// First open: commit the manifest before any append so a crash
+		// later cannot leave shard logs no recovery would look at.
+		man = Manifest{Version: manifestVersion, Shards: shards, Generation: 0}
+		if err := writeManifest(dir, man); err != nil {
+			return nil, err
+		}
+	} else if man.Shards != shards {
+		return nil, fmt.Errorf("wal: open at %d shards but manifest has %d (recover first)", shards, man.Shards)
+	}
+	sl := &ShardedLog{dir: dir, logs: make([]*Log, shards), man: man}
+	for i := range sl.logs {
+		log, err := Open(filepath.Join(dir, ShardLogFile(i)))
+		if err != nil {
+			sl.Close()
+			return nil, err
+		}
+		sl.logs[i] = log
+	}
+	return sl, nil
+}
+
+// NumShards returns the number of shard logs.
+func (sl *ShardedLog) NumShards() int { return len(sl.logs) }
+
+// Manifest returns a copy of the committed manifest.
+func (sl *ShardedLog) Manifest() Manifest {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	m := sl.man
+	m.NextIDs = append([]uint64(nil), sl.man.NextIDs...)
+	return m
+}
+
+// AppendInsert logs the insertion of tp to shard i's log. The caller
+// holds shard i's lock, which is what keeps the log ID-ordered.
+func (sl *ShardedLog) AppendInsert(i int, tp tuple.Tuple) error {
+	return sl.logs[i].AppendInsert(tp)
+}
+
+// AppendEvict logs the eviction of id to its owning shard i's log.
+func (sl *ShardedLog) AppendEvict(i int, id tuple.ID) error {
+	return sl.logs[i].AppendEvict(id)
+}
+
+// Sync flushes and fsyncs every shard log.
+func (sl *ShardedLog) Sync() error {
+	var first error
+	for _, l := range sl.logs {
+		if l == nil {
+			continue
+		}
+		if err := l.Sync(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close flushes and closes every shard log.
+func (sl *ShardedLog) Close() error {
+	var first error
+	for _, l := range sl.logs {
+		if l == nil {
+			continue
+		}
+		if err := l.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Checkpoint snapshots every shard of ss concurrently (over at most
+// parallelism goroutines) into the next generation, commits it by
+// atomically renaming the manifest, then truncates the shard logs and
+// removes the previous generation's files. The caller holds every shard
+// lock, so the snapshot set is one consistent cut. A crash before the
+// manifest rename falls back cleanly to the previous generation (the
+// logs are still intact); a crash after it merely leaves stale log
+// records, which replay skips.
+func (sl *ShardedLog) Checkpoint(ss *storage.ShardedStore, parallelism int) error {
+	if ss.NumShards() != len(sl.logs) {
+		return fmt.Errorf("wal: checkpoint %d-shard store against %d-shard log", ss.NumShards(), len(sl.logs))
+	}
+	gen := sl.man.Generation + 1
+	if err := fanout.Run(len(sl.logs), parallelism, func(i int) error {
+		return WriteSnapshot(filepath.Join(sl.dir, shardSnapshotFile(gen, i)), ss.Shard(i))
+	}); err != nil {
+		// Uncommitted generation: remove the half-written files.
+		for i := range sl.logs {
+			os.Remove(filepath.Join(sl.dir, shardSnapshotFile(gen, i)))
+		}
+		return err
+	}
+	man := Manifest{Version: manifestVersion, Shards: len(sl.logs), Generation: gen, NextIDs: cursorsOf(ss)}
+	if err := writeManifest(sl.dir, man); err != nil {
+		return err
+	}
+	sl.mu.Lock()
+	sl.man = man
+	sl.mu.Unlock()
+	for _, l := range sl.logs {
+		if err := l.Truncate(); err != nil {
+			return err
+		}
+	}
+	cleanupStale(sl.dir, man)
+	return nil
+}
+
+// cleanupStale removes files the committed manifest does not own:
+// legacy single-log files, snapshots of other generations, and shard
+// files at other shard counts. Best effort — leftovers are skipped (and
+// re-deleted) by the next recovery or checkpoint.
+func cleanupStale(dir string, man Manifest) {
+	os.Remove(filepath.Join(dir, SnapshotFile))
+	os.Remove(filepath.Join(dir, LogFile))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if gen, shard, ok := parseShardSnapshotName(name); ok {
+			if gen != man.Generation || shard >= man.Shards {
+				os.Remove(filepath.Join(dir, name))
+			}
+			continue
+		}
+		if shard, ok := parseShardLogName(name); ok && shard >= man.Shards {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
+func parseShardSnapshotName(name string) (gen uint64, shard int, ok bool) {
+	rest, found := strings.CutPrefix(name, "snapshot.")
+	if !found {
+		return 0, 0, false
+	}
+	rest, found = strings.CutSuffix(rest, ".db")
+	if !found {
+		return 0, 0, false
+	}
+	genStr, shardStr, found := strings.Cut(rest, ".")
+	if !found {
+		return 0, 0, false
+	}
+	gen, err := strconv.ParseUint(genStr, 10, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	shard, err = strconv.Atoi(shardStr)
+	if err != nil || shard < 0 {
+		return 0, 0, false
+	}
+	return gen, shard, true
+}
+
+func parseShardLogName(name string) (shard int, ok bool) {
+	rest, found := strings.CutPrefix(name, "wal.")
+	if !found {
+		return 0, false
+	}
+	rest, found = strings.CutSuffix(rest, ".log")
+	if !found {
+		return 0, false
+	}
+	shard, err := strconv.Atoi(rest)
+	if err != nil || shard < 0 {
+		return 0, false
+	}
+	return shard, true
+}
+
+// RecoverSharded rebuilds ss (which must be empty) from dir and leaves
+// dir in the canonical per-shard layout at ss's shard count:
+//
+//   - Per-shard layout at a matching shard count: every shard loads its
+//     own snapshot and replays its own log, all shards in parallel over
+//     at most parallelism goroutines. Each log is locally ID-ordered, so
+//     records apply directly — no buffering, no sorting. A torn tail in
+//     one shard's log truncates that log at the tear and never aborts
+//     (or shortens) the recovery of the others.
+//   - Per-shard layout at a different shard count: the merge path loads
+//     every old shard file, sorts by ID (IDs decide ownership, not file
+//     layout) and re-routes each record to its new owner, then rewrites
+//     the directory at the new shard count.
+//   - Legacy single-log layout (snapshot.db + wal.log, no manifest): the
+//     old order-insensitive recovery runs unchanged, then the directory
+//     is migrated in place to the per-shard layout.
+//
+// A fresh directory recovers nothing and is left untouched (OpenSharded
+// commits the first manifest).
+func RecoverSharded(dir string, ss *storage.ShardedStore, parallelism int) error {
+	man, ok, err := loadManifest(dir)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		if !legacyLayoutPresent(dir) {
+			return nil // fresh directory
+		}
+		// Migrate the single-log layout in place: recover through the
+		// order-insensitive path, then rewrite as per-shard files.
+		if err := RecoverInto(dir, ss); err != nil {
+			return err
+		}
+		return rewriteLayout(dir, ss, 1, parallelism)
+	}
+	if man.Shards == ss.NumShards() {
+		return recoverMatched(dir, man, ss, parallelism)
+	}
+	if err := recoverReshard(dir, man, ss); err != nil {
+		return err
+	}
+	return rewriteLayout(dir, ss, man.Generation+1, parallelism)
+}
+
+func legacyLayoutPresent(dir string) bool {
+	for _, name := range []string{SnapshotFile, LogFile} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// recoverMatched is the fast path: shard counts agree, so shard i's
+// files rebuild shard i's store with no cross-shard traffic, and the
+// shards recover in parallel.
+func recoverMatched(dir string, man Manifest, ss *storage.ShardedStore, parallelism int) error {
+	n := ss.NumShards()
+	err := fanout.Run(n, parallelism, func(i int) error {
+		sh := ss.Shard(i)
+		hdrNext, err := loadSnapshot(filepath.Join(dir, shardSnapshotFile(man.Generation, i)), sh)
+		if err != nil {
+			return fmt.Errorf("wal: recover shard %d: %w", i, err)
+		}
+		logPath := filepath.Join(dir, ShardLogFile(i))
+		valid, err := ReplayBounded(logPath, func(rec Rec) error {
+			switch rec.Type {
+			case RecInsert:
+				// Behind the shard's cursor means already in the shard's
+				// snapshot (a checkpoint crashed between manifest commit
+				// and log truncation): skip, not fail.
+				if err := sh.Restore(rec.Tuple); err != nil && !errors.Is(err, storage.ErrStaleRestore) {
+					return err
+				}
+				return nil
+			case RecEvict:
+				if err := sh.Evict(rec.ID); err != nil && !errors.Is(err, storage.ErrNotFound) {
+					return err
+				}
+				return nil
+			}
+			return fmt.Errorf("unknown record %d", rec.Type)
+		})
+		if err != nil {
+			return fmt.Errorf("wal: recover shard %d: %w", i, err)
+		}
+		// Truncate this shard's torn tail (if any) before the log is
+		// reopened for appending — independently of every other shard.
+		if fi, statErr := os.Stat(logPath); statErr == nil && fi.Size() > valid {
+			if err := os.Truncate(logPath, valid); err != nil {
+				return fmt.Errorf("wal: truncate torn tail of shard %d: %w", i, err)
+			}
+		}
+		// The per-shard snapshot header holds this shard's exact cursor
+		// (no global round-up), applied only after replay so logged
+		// post-checkpoint inserts never look stale.
+		sh.AdvanceNextID(hdrNext)
+		if i < len(man.NextIDs) {
+			sh.AdvanceNextID(tuple.ID(man.NextIDs[i]))
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	ss.FinishRestore()
+	// A checkpoint that crashed before its manifest commit may have left
+	// next-generation snapshot files behind; they are uncommitted.
+	cleanupStale(dir, man)
+	return nil
+}
+
+// collectExtent buffers snapshot tuples instead of restoring them, so
+// the reshard path can merge several shard snapshots by ID before
+// routing. Only the methods loadSnapshot touches do real work.
+type collectExtent struct {
+	schema *tuple.Schema
+	tuples []tuple.Tuple
+}
+
+func (c *collectExtent) Schema() *tuple.Schema        { return c.schema }
+func (c *collectExtent) Len() int                     { return len(c.tuples) }
+func (c *collectExtent) NextID() tuple.ID             { return 0 }
+func (c *collectExtent) Scan(func(*tuple.Tuple) bool) {}
+func (c *collectExtent) Restore(tp tuple.Tuple) error { c.tuples = append(c.tuples, tp); return nil }
+func (c *collectExtent) FinishRestore()               {}
+func (c *collectExtent) AdvanceNextID(tuple.ID)       {}
+func (c *collectExtent) Evict(tuple.ID) error         { return nil }
+
+// recoverReshard re-routes a per-shard directory written at a different
+// shard count: all old snapshots and log inserts merge into one
+// ID-sorted stream (stable, snapshots first, so a record that survived
+// into a snapshot wins over its own stale log copy), restore routes each
+// tuple to its new owner by residue, and evictions apply afterwards —
+// IDs are never reused, so insert-then-evict commutes.
+func recoverReshard(dir string, man Manifest, ss *storage.ShardedStore) error {
+	var inserts []tuple.Tuple
+	var evicts []tuple.ID
+	maxNext := tuple.ID(0)
+	for i := 0; i < man.Shards; i++ {
+		col := &collectExtent{schema: ss.Schema()}
+		hdrNext, err := loadSnapshot(filepath.Join(dir, shardSnapshotFile(man.Generation, i)), col)
+		if err != nil {
+			return fmt.Errorf("wal: reshard snapshot %d: %w", i, err)
+		}
+		if hdrNext > maxNext {
+			maxNext = hdrNext
+		}
+		inserts = append(inserts, col.tuples...)
+	}
+	for i := 0; i < man.Shards; i++ {
+		_, err := ReplayBounded(filepath.Join(dir, ShardLogFile(i)), func(rec Rec) error {
+			switch rec.Type {
+			case RecInsert:
+				inserts = append(inserts, rec.Tuple)
+			case RecEvict:
+				evicts = append(evicts, rec.ID)
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("wal: reshard log %d: %w", i, err)
+		}
+	}
+	sort.SliceStable(inserts, func(a, b int) bool { return inserts[a].ID < inserts[b].ID })
+	for _, tp := range inserts {
+		if err := ss.Restore(tp); err != nil && !errors.Is(err, storage.ErrStaleRestore) {
+			return err
+		}
+	}
+	for _, id := range evicts {
+		if err := ss.Evict(id); err != nil && !errors.Is(err, storage.ErrNotFound) {
+			return err
+		}
+	}
+	ss.FinishRestore()
+	for _, nid := range man.NextIDs {
+		if tuple.ID(nid) > maxNext {
+			maxNext = tuple.ID(nid)
+		}
+	}
+	// Old cursors round up into the new residue classes; only the global
+	// high-water mark is meaningful across shard counts.
+	ss.AdvanceNextID(maxNext)
+	return nil
+}
+
+// rewriteLayout writes dir's canonical per-shard layout for ss at the
+// given generation — per-shard snapshots, then the manifest commit —
+// and removes every superseded file, including all old shard logs
+// (their records now live in the new snapshots, and their residue
+// classes may not match the new shard count). Used by migration and
+// resharding; a crash before the manifest commit leaves the old layout
+// fully intact.
+func rewriteLayout(dir string, ss *storage.ShardedStore, gen uint64, parallelism int) error {
+	n := ss.NumShards()
+	if err := fanout.Run(n, parallelism, func(i int) error {
+		return WriteSnapshot(filepath.Join(dir, shardSnapshotFile(gen, i)), ss.Shard(i))
+	}); err != nil {
+		return err
+	}
+	man := Manifest{Version: manifestVersion, Shards: n, Generation: gen, NextIDs: cursorsOf(ss)}
+	if err := writeManifest(dir, man); err != nil {
+		return err
+	}
+	// Every old log is superseded by the generation just committed.
+	if entries, err := os.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			if _, ok := parseShardLogName(e.Name()); ok {
+				os.Remove(filepath.Join(dir, e.Name()))
+			}
+		}
+	}
+	cleanupStale(dir, man)
+	return nil
+}

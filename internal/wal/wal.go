@@ -12,7 +12,34 @@
 //
 // Record framing: [length uint32][crc32c uint32][type byte][payload].
 // Replay stops cleanly at the first torn or corrupt record, which is the
-// expected state after a crash mid-append.
+// expected state after a crash mid-append; ReplayBounded additionally
+// reports where the valid prefix ends so the torn tail can be truncated
+// before new appends land behind it.
+//
+// # Per-shard layout
+//
+// A sharded table keeps one log per shard (wal.0.log … wal.N-1.log) and
+// one snapshot per shard (snapshot.<gen>.<shard>.db), tied together by a
+// manifest (wal.manifest.json) recording the shard count, the committed
+// snapshot generation and the per-shard next-ID cursors. Shard i's log
+// receives only shard i's records, appended under shard i's engine lock,
+// so every log is locally ID-ordered and recovery replays the logs in
+// parallel with no cross-shard buffering or sorting.
+//
+// Checkpoint commit protocol: write every shard's generation-g+1
+// snapshot, then atomically rename the manifest naming generation g+1
+// (the commit point), then truncate the shard logs and delete the
+// generation-g files. A crash anywhere in that sequence either leaves
+// the old manifest pointing at the complete generation-g files plus
+// untruncated logs (stale records are skipped on replay), or the new
+// manifest pointing at the complete generation-g+1 files.
+//
+// Directories written by the old single-log engine (snapshot.db +
+// wal.log, no manifest) are detected on open, recovered through the
+// order-insensitive merge path, and rewritten in place to the per-shard
+// layout; a manifest whose shard count differs from the opening table's
+// takes the same merge-and-rewrite path, re-routing every record to its
+// new owner by ID residue.
 package wal
 
 import (
@@ -128,40 +155,54 @@ func (l *Log) Close() error {
 // missing file replays zero records. Replay stops without error at the
 // first torn or corrupt record (the crash tail); fn errors abort.
 func Replay(path string, fn func(Rec) error) error {
+	_, err := ReplayBounded(path, fn)
+	return err
+}
+
+// ReplayBounded is Replay returning the byte offset one past the last
+// fully valid record — the truncation point for a torn tail. A shard
+// log reopened for appending MUST be truncated there first, or records
+// appended after the tear would hide behind it and be lost on the next
+// recovery. Sharded recovery uses the per-shard offsets to truncate
+// each log independently, so one shard's torn tail never aborts (or
+// shortens) the recovery of the others.
+func ReplayBounded(path string, fn func(Rec) error) (int64, error) {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return nil
+		return 0, nil
 	}
 	if err != nil {
-		return fmt.Errorf("wal: replay open: %w", err)
+		return 0, fmt.Errorf("wal: replay open: %w", err)
 	}
 	defer f.Close()
 
 	r := bufio.NewReader(f)
+	var off int64
 	var hdr [8]byte
 	for {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			return nil // clean EOF or torn header: stop
+			return off, nil // clean EOF or torn header: stop
 		}
 		length := binary.LittleEndian.Uint32(hdr[0:4])
 		wantCRC := binary.LittleEndian.Uint32(hdr[4:8])
 		if length == 0 || length > 1<<28 {
-			return nil // implausible length: corrupt tail
+			return off, nil // implausible length: corrupt tail
 		}
 		payload := make([]byte, length)
 		if _, err := io.ReadFull(r, payload); err != nil {
-			return nil // torn payload
+			return off, nil // torn payload
 		}
 		if crc32.Checksum(payload, crcTable) != wantCRC {
-			return nil // corrupt record
+			return off, nil // corrupt record
 		}
 		rec, err := decodeRec(payload)
 		if err != nil {
-			return fmt.Errorf("wal: replay: %w", err)
+			return off, fmt.Errorf("wal: replay: %w", err)
 		}
 		if err := fn(rec); err != nil {
-			return err
+			return off, err
 		}
+		off += int64(len(hdr)) + int64(length)
 	}
 }
 
