@@ -317,6 +317,66 @@ func BenchmarkShardedIngest(b *testing.B) {
 	}
 }
 
+// BenchmarkGroupCommit measures row-at-a-time durable ingestion into a
+// persistent table across WAL sync levels × shard counts. none never
+// fsyncs on the insert path, strict fsyncs the owning shard's log per
+// append, and grouped amortises fsyncs over the commit window (the
+// background daemon syncs each dirty shard once per window) — grouped
+// throughput should sit close to none and far above strict.
+func BenchmarkGroupCommit(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		for _, level := range []wal.DurabilityLevel{wal.DurabilityNone, wal.DurabilityGrouped, wal.DurabilityStrict} {
+			b.Run(fmt.Sprintf("level=%s/shards=%d", level, shards), func(b *testing.B) {
+				db, err := core.Open(core.DBConfig{Seed: 1, Dir: b.TempDir(), Durability: level})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(func() { db.Close() })
+				tbl, err := db.CreateTable("t", core.TableConfig{Schema: microSchema, Shards: shards, Persist: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				row := core.Row("sensor-1", 21.5)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := tbl.Insert(row); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkGroupCommitWait measures acknowledged (wait-for-durable)
+// ingestion in grouped mode with concurrent writers: each goroutine
+// inserts and blocks on its commit future, so the group-commit window
+// is what batches their fsyncs together.
+func BenchmarkGroupCommitWait(b *testing.B) {
+	db, err := core.Open(core.DBConfig{Seed: 1, Dir: b.TempDir(), Durability: wal.DurabilityGrouped})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	tbl, err := db.CreateTable("t", core.TableConfig{Schema: microSchema, Shards: 4, Persist: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		row := core.Row("sensor-1", 21.5)
+		for pb.Next() {
+			_, w, err := tbl.InsertDurable(row)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := w.Wait(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkWALAppend measures insert logging + fsync-free append.
 func BenchmarkWALAppend(b *testing.B) {
 	dir := b.TempDir()

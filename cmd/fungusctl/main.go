@@ -1,7 +1,7 @@
 // Command fungusctl is an interactive (and scriptable) shell over a
 // FungusDB instance. It reads commands from stdin, one per line:
 //
-//	create <table> <name KIND, ...> [fungus=egi|ttl|linear|none] [rate=F] [shards=N] [distill]
+//	create <table> <name KIND, ...> [fungus=egi|ttl|linear|none] [rate=F] [shards=N] [durability=none|grouped|strict] [distill]
 //	insert <table> <v1> <v2> ...
 //	query  <table> peek|consume [into=<container>] [<where...>]
 //	tick   [n]
@@ -30,6 +30,7 @@ import (
 	"fungusdb/internal/fungus"
 	"fungusdb/internal/query"
 	"fungusdb/internal/tuple"
+	"fungusdb/internal/wal"
 	"fungusdb/internal/workload"
 )
 
@@ -39,9 +40,20 @@ func main() {
 	dir := flag.String("dir", "", "data directory (empty = in-memory)")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	recoveryPar := flag.Int("recovery-parallelism", 0, "goroutines replaying per-shard WAL files at reopen (0 = worker pool size)")
+	durability := flag.String("durability", "none", "default WAL sync level for persistent tables: none|grouped|strict (create ... durability=L overrides)")
+	groupInterval := flag.Duration("group-commit-interval", 0, "grouped-durability flush tick (0 = 2ms default)")
+	groupSize := flag.Int("group-commit-size", 0, "records per group-commit window before an early flush (0 = 512 default)")
 	flag.Parse()
 
-	db, err := core.Open(core.DBConfig{Seed: *seed, Dir: *dir, RecoveryParallelism: *recoveryPar})
+	level, err := wal.ParseDurability(*durability)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fungusctl:", err)
+		os.Exit(1)
+	}
+	db, err := core.Open(core.DBConfig{
+		Seed: *seed, Dir: *dir, RecoveryParallelism: *recoveryPar,
+		Durability: level, GroupCommitInterval: *groupInterval, GroupCommitSize: *groupSize,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fungusctl:", err)
 		os.Exit(1)
@@ -130,7 +142,7 @@ func (s *shell) exec(line string) error {
 }
 
 const helpText = `commands:
-  create <table> <name KIND, ...> [fungus=egi|ttl|linear|none] [rate=F] [shards=N] [distill]
+  create <table> <name KIND, ...> [fungus=egi|ttl|linear|none] [rate=F] [shards=N] [durability=none|grouped|strict] [distill]
   insert <table> <v1> <v2> ...
   query  <table> peek|consume [into=<container>] [<where...>]
   tick   [n]
@@ -281,6 +293,7 @@ func (s *shell) create(args []string, line string) error {
 	// Separate trailing option tokens from the schema spec.
 	rest := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(strings.TrimPrefix(line, "create")), name))
 	fungusName, rate, distill, shards := "none", 0.05, false, *defaultShards
+	durability := wal.DurabilityDefault
 	for {
 		idx := strings.LastIndex(rest, " ")
 		if idx < 0 {
@@ -304,6 +317,12 @@ func (s *shell) create(args []string, line string) error {
 				return fmt.Errorf("bad shards %q", strings.TrimPrefix(tok, "shards="))
 			}
 			shards = n
+		case strings.HasPrefix(tok, "durability="):
+			d, err := wal.ParseDurability(strings.TrimPrefix(tok, "durability="))
+			if err != nil {
+				return err
+			}
+			durability = d
 		default:
 			idx = -1
 		}
@@ -335,6 +354,7 @@ func (s *shell) create(args []string, line string) error {
 		Fungus:       f,
 		Shards:       shards,
 		DistillOnRot: distill,
+		Durability:   durability,
 		Persist:      s.persist,
 	})
 	if err != nil {
@@ -465,7 +485,11 @@ func (s *shell) stats(args []string) error {
 	st := tbl.StoreStats()
 	fmt.Fprintf(s.out, "segments: %d live / %d total, %d dropped\n", st.SegsLive, st.SegsTotal, st.SegsDropped)
 	if wi := tbl.WALInfo(); wi.Persistent {
-		fmt.Fprintf(s.out, "wal: %d shard logs, snapshot generation %d\n", wi.LogShards, wi.Generation)
+		fmt.Fprintf(s.out, "wal: %d shard logs, snapshot generation %d, sync mode %s\n",
+			wi.LogShards, wi.Generation, wi.SyncMode)
+		if wi.GroupCommits > 0 {
+			fmt.Fprintf(s.out, "group commits: %d (avg %.1f records/fsync)\n", wi.GroupCommits, wi.AvgGroupSize)
+		}
 	}
 	return nil
 }

@@ -19,6 +19,7 @@ import (
 
 	"fungusdb/internal/core"
 	"fungusdb/internal/server"
+	"fungusdb/internal/wal"
 )
 
 func main() {
@@ -27,9 +28,19 @@ func main() {
 	period := flag.Duration("period", time.Second, "wall time per decay tick")
 	seed := flag.Int64("seed", 20150104, "deterministic seed")
 	recoveryPar := flag.Int("recovery-parallelism", 0, "goroutines replaying per-shard WAL files at reopen (0 = worker pool size)")
+	durability := flag.String("durability", "none", "default WAL sync level for persistent tables: none|grouped|strict (table specs override)")
+	groupInterval := flag.Duration("group-commit-interval", 0, "grouped-durability flush tick (0 = 2ms default)")
+	groupSize := flag.Int("group-commit-size", 0, "records per group-commit window before an early flush (0 = 512 default)")
 	flag.Parse()
 
-	db, err := core.Open(core.DBConfig{Seed: *seed, Dir: *dir, RecoveryParallelism: *recoveryPar})
+	level, err := wal.ParseDurability(*durability)
+	if err != nil {
+		log.Fatalf("fungusd: %v", err)
+	}
+	db, err := core.Open(core.DBConfig{
+		Seed: *seed, Dir: *dir, RecoveryParallelism: *recoveryPar,
+		Durability: level, GroupCommitInterval: *groupInterval, GroupCommitSize: *groupSize,
+	})
 	if err != nil {
 		log.Fatalf("fungusd: %v", err)
 	}

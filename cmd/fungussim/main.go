@@ -7,10 +7,13 @@
 //	fungussim [-fungus egi|ttl|linear|exponential|none] [-tuples N]
 //	          [-ticks N] [-ingest N] [-report N] [-distill]
 //	          [-seeds N] [-rate F] [-seed N] [-shards N]
+//	          [-dir D] [-durability none|grouped|strict]
 //
 // With -ingest > 0 the simulation keeps inserting rows per tick, so the
 // steady state between ingestion and rot is visible; otherwise a single
-// initial load decays to extinction.
+// initial load decays to extinction. With -dir the simulated table is
+// persistent, so the run doubles as a WAL durability/throughput probe:
+// -durability selects the sync level (see docs/DURABILITY.md).
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 
 	"fungusdb/internal/core"
 	"fungusdb/internal/fungus"
+	"fungusdb/internal/wal"
 	"fungusdb/internal/workload"
 )
 
@@ -34,6 +38,8 @@ func main() {
 	rate := flag.Float64("rate", 0.05, "decay rate / TTL uses 1/rate ticks lifetime")
 	seed := flag.Int64("seed", 20150104, "deterministic seed")
 	shards := flag.Int("shards", 1, "extent shards (parallel decay/scan)")
+	dir := flag.String("dir", "", "data directory (empty = in-memory simulation)")
+	durability := flag.String("durability", "none", "WAL sync level with -dir: none|grouped|strict")
 	flag.Parse()
 
 	var f fungus.Fungus
@@ -53,7 +59,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	db, err := core.Open(core.DBConfig{Seed: *seed})
+	level, err := wal.ParseDurability(*durability)
+	if err != nil {
+		fatal(err)
+	}
+	db, err := core.Open(core.DBConfig{Seed: *seed, Dir: *dir, Durability: level})
 	if err != nil {
 		fatal(err)
 	}
@@ -64,6 +74,7 @@ func main() {
 		Fungus:       f,
 		Shards:       *shards,
 		DistillOnRot: *distill,
+		Persist:      *dir != "",
 	})
 	if err != nil {
 		fatal(err)
@@ -97,6 +108,10 @@ func main() {
 	fmt.Println()
 	c := tbl.Counters()
 	fmt.Println("final:", c)
+	if wi := tbl.WALInfo(); wi.Persistent {
+		fmt.Printf("wal: sync mode %s, %d group commits (avg %.1f records/fsync)\n",
+			wi.SyncMode, wi.GroupCommits, wi.AvgGroupSize)
+	}
 	if *distill {
 		if rot := tbl.Shelf().Get(core.RotContainer); rot != nil {
 			fmt.Printf("rot container: %d tuples distilled, %d bytes of knowledge\n",

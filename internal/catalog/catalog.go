@@ -21,6 +21,7 @@ import (
 	"fungusdb/internal/fungus"
 	"fungusdb/internal/query"
 	"fungusdb/internal/tuple"
+	"fungusdb/internal/wal"
 )
 
 // FungusSpec declaratively describes a fungus. Kind selects the
@@ -146,6 +147,11 @@ type TableSpec struct {
 	DistillOnRot      bool    `json:"distill_on_rot,omitempty"`
 	ContainerHalfLife float64 `json:"container_half_life,omitempty"`
 	CheckpointEvery   int     `json:"checkpoint_every,omitempty"`
+	// Durability is the WAL sync level for persistent tables: "none"
+	// (buffered, fsync at checkpoint/close), "grouped" (batched
+	// group-commit fsync with commit futures) or "strict" (fsync per
+	// append). Empty inherits the DB-level default.
+	Durability string `json:"durability,omitempty"`
 }
 
 // MaxShards bounds TableSpec.Shards: beyond the core count per-shard
@@ -159,6 +165,9 @@ func (s *TableSpec) Validate() error {
 	}
 	if s.Shards < 0 || s.Shards > MaxShards {
 		return fmt.Errorf("catalog: table %q: shards must be in [0, %d]", s.Name, MaxShards)
+	}
+	if _, err := wal.ParseDurability(s.Durability); err != nil {
+		return fmt.Errorf("catalog: table %q: %w", s.Name, err)
 	}
 	schema, err := tuple.ParseSchema(s.Schema)
 	if err != nil {

@@ -165,3 +165,31 @@ func TestLoadMissingAndCorrupt(t *testing.T) {
 // Compile-time check that the spec-built targeted fungus satisfies the
 // interfaces the engine relies on.
 var _ fungus.Fungus = fungus.Targeted{}
+
+func TestTableSpecDurability(t *testing.T) {
+	for _, level := range []string{"", "none", "grouped", "strict"} {
+		s := TableSpec{Name: "logs", Schema: "sev INT", Durability: level}
+		if err := s.Validate(); err != nil {
+			t.Errorf("durability %q rejected: %v", level, err)
+		}
+	}
+	bad := TableSpec{Name: "logs", Schema: "sev INT", Durability: "paranoid"}
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown durability level accepted")
+	}
+
+	// The level survives the catalog round trip.
+	dir := t.TempDir()
+	c := &Catalog{}
+	c.Put(TableSpec{Name: "evts", Schema: "x INT", Durability: "grouped"})
+	if err := c.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tables[0].Durability != "grouped" {
+		t.Errorf("durability lost in round trip: %+v", got.Tables[0])
+	}
+}

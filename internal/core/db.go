@@ -23,10 +23,12 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"fungusdb/internal/catalog"
 	"fungusdb/internal/clock"
 	"fungusdb/internal/tuple"
+	"fungusdb/internal/wal"
 )
 
 // DBConfig configures Open.
@@ -51,6 +53,18 @@ type DBConfig struct {
 	// persistent table reopens (each shard's snapshot + log recovers on
 	// its own goroutine). 0 means Workers; 1 forces serial recovery.
 	RecoveryParallelism int
+	// Durability is the WAL sync level applied to persistent tables
+	// whose TableConfig.Durability is left at wal.DurabilityDefault:
+	// none (buffered, fsync only at checkpoint/close), grouped (batched
+	// fsync per commit window, appends get a commit future), or strict
+	// (fsync per append). DurabilityDefault here means DurabilityNone.
+	Durability wal.DurabilityLevel
+	// GroupCommitInterval is the grouped-mode flush tick (0 = the
+	// wal.DefaultGroupInterval of 2ms).
+	GroupCommitInterval time.Duration
+	// GroupCommitSize flushes a grouped commit window early once this
+	// many records are pending (0 = wal.DefaultGroupSize).
+	GroupCommitSize int
 }
 
 // DB is a FungusDB instance.
@@ -132,6 +146,10 @@ func (db *DB) createFromSpec(spec catalog.TableSpec) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	durability, err := wal.ParseDurability(spec.Durability)
+	if err != nil {
+		return nil, err
+	}
 	return db.CreateTable(spec.Name, TableConfig{
 		Schema:            schema,
 		Fungus:            f,
@@ -142,6 +160,7 @@ func (db *DB) createFromSpec(spec catalog.TableSpec) (*Table, error) {
 		DistillOnRot:      spec.DistillOnRot,
 		ContainerHalfLife: spec.ContainerHalfLife,
 		CheckpointEvery:   spec.CheckpointEvery,
+		Durability:        durability,
 		Persist:           true,
 	})
 }
@@ -184,7 +203,7 @@ func (db *DB) CreateTable(name string, cfg TableConfig) (*Table, error) {
 	for _, r := range name {
 		seed = seed*1099511628211 + int64(r)
 	}
-	t, err := newTable(name, cfg, db.clk, seed, dir, db.cfg.Workers, db.cfg.RecoveryParallelism)
+	t, err := newTable(name, cfg, db.clk, seed, dir, db.cfg)
 	if err != nil {
 		return nil, err
 	}

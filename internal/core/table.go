@@ -59,6 +59,14 @@ type TableConfig struct {
 	// CheckpointEvery writes a snapshot and truncates the WAL after
 	// this many mutations (0 = only on Close).
 	CheckpointEvery int
+	// Durability is this table's WAL sync level: none (buffered,
+	// fsync only at checkpoint/close), grouped (a background
+	// group-commit daemon fsyncs each shard log once per pending
+	// window; InsertDurable returns a commit future), or strict (the
+	// owning shard's log fsyncs before every append acknowledges).
+	// wal.DurabilityDefault inherits DBConfig.Durability. Ignored for
+	// non-persistent tables.
+	Durability wal.DurabilityLevel
 }
 
 // TableTickReport summarises one decay cycle of one table.
@@ -99,11 +107,13 @@ type Table struct {
 	ctrs      metrics.Counters
 	mutations int
 
-	log    *wal.ShardedLog
-	closed atomic.Bool
+	log        *wal.ShardedLog
+	durability wal.DurabilityLevel // resolved: never DurabilityDefault
+	gc         *wal.GroupCommitter // non-nil iff durability == grouped
+	closed     atomic.Bool
 }
 
-func newTable(name string, cfg TableConfig, clk clock.Clock, seed int64, dir string, workers, recoveryPar int) (*Table, error) {
+func newTable(name string, cfg TableConfig, clk clock.Clock, seed int64, dir string, dbc DBConfig) (*Table, error) {
 	if cfg.Fungus == nil {
 		cfg.Fungus = fungus.Null{}
 	}
@@ -113,6 +123,7 @@ func newTable(name string, cfg TableConfig, clk clock.Clock, seed int64, dir str
 	if cfg.Digest == (container.DigestConfig{}) {
 		cfg.Digest = container.DefaultDigestConfig()
 	}
+	workers := dbc.Workers
 	if workers < 1 {
 		workers = 1
 	}
@@ -120,19 +131,30 @@ func newTable(name string, cfg TableConfig, clk clock.Clock, seed int64, dir str
 	if cfg.SegmentSize > 0 {
 		opts = append(opts, storage.WithSegmentSize(cfg.SegmentSize))
 	}
+	recoveryPar := dbc.RecoveryParallelism
 	if recoveryPar < 1 {
 		recoveryPar = workers
 	}
+	// Resolve the sync level: table spec wins, then the DB default,
+	// then none (the pre-group-commit behaviour).
+	durability := cfg.Durability
+	if durability == wal.DurabilityDefault {
+		durability = dbc.Durability
+	}
+	if durability == wal.DurabilityDefault {
+		durability = wal.DurabilityNone
+	}
 	n := cfg.Shards
 	t := &Table{
-		name:    name,
-		cfg:     cfg,
-		clk:     clk,
-		shardMu: make([]sync.RWMutex, n),
-		fngs:    make([]fungus.Fungus, n),
-		rngs:    make([]*rand.Rand, n),
-		rotBufs: make([][]tuple.ID, n),
-		workers: workers,
+		name:       name,
+		cfg:        cfg,
+		clk:        clk,
+		shardMu:    make([]sync.RWMutex, n),
+		fngs:       make([]fungus.Fungus, n),
+		rngs:       make([]*rand.Rand, n),
+		rotBufs:    make([][]tuple.ID, n),
+		workers:    workers,
+		durability: durability,
 	}
 	// Shard 0 draws from the table stream (shared with the shelf, via a
 	// locked source); shard i > 0 gets its own stream derived from
@@ -159,6 +181,12 @@ func newTable(name string, cfg TableConfig, clk clock.Clock, seed int64, dir str
 			return nil, err
 		}
 		t.log = log
+		if durability == wal.DurabilityGrouped {
+			t.gc = wal.NewGroupCommitter(log, wal.GroupCommitConfig{
+				Interval:      dbc.GroupCommitInterval,
+				SizeThreshold: dbc.GroupCommitSize,
+			})
+		}
 	}
 	t.shelf = container.NewShelf(cfg.Schema, cfg.Digest, t.rngs[0])
 	return t, nil
@@ -247,30 +275,61 @@ func (t *Table) TimeSeries(n int) []metrics.TimeBucket {
 // errClosed is the uniform mutation-after-Close error.
 func (t *Table) errClosed() error { return fmt.Errorf("core: table %q is closed", t.name) }
 
+// noteAppendLocked applies the table's durability level to n records
+// just appended to shard i's log: strict fsyncs shard i's log before
+// returning, grouped registers the records with the group-commit
+// window and returns its commit future, none does nothing (buffered).
+// The caller holds shard i's lock and has already appended the records.
+func (t *Table) noteAppendLocked(i, n int) (wal.CommitWait, error) {
+	switch t.durability {
+	case wal.DurabilityStrict:
+		return wal.CommitWait{}, t.log.SyncShard(i)
+	case wal.DurabilityGrouped:
+		return t.gc.Note(i, n), nil
+	}
+	return wal.CommitWait{}, nil
+}
+
 // Insert appends one tuple with full freshness at the current tick. The
 // tuple lands on the next shard in the round-robin rotation; only that
-// shard's lock is taken, so inserts scale across shards.
+// shard's lock is taken, so inserts scale across shards. Under strict
+// durability the record is fsynced before Insert returns; under grouped
+// durability it joins the pending commit window (use InsertDurable to
+// obtain the commit future).
 func (t *Table) Insert(attrs []tuple.Value) (tuple.Tuple, error) {
+	tp, _, err := t.InsertDurable(attrs)
+	return tp, err
+}
+
+// InsertDurable is Insert returning the WAL commit future as well: the
+// wait resolves once the record is durable (immediately for strict —
+// the fsync already happened — and for non-persistent or durability-
+// none tables, where there is nothing to wait for; after the window's
+// batched fsync or a covering checkpoint for grouped).
+func (t *Table) InsertDurable(attrs []tuple.Value) (tuple.Tuple, wal.CommitWait, error) {
 	// Validate before claiming a rotation slot: a rejected row must not
 	// burn a shard turn, or later tuples would take IDs out of arrival
 	// order on the time axis.
 	if err := t.cfg.Schema.Validate(attrs); err != nil {
-		return tuple.Tuple{}, err
+		return tuple.Tuple{}, wal.CommitWait{}, err
 	}
 	if t.closed.Load() {
-		return tuple.Tuple{}, t.errClosed()
+		return tuple.Tuple{}, wal.CommitWait{}, t.errClosed()
 	}
 	now := t.clk.Now()
 	i := t.store.NextShard()
 	t.shardMu[i].Lock()
 	if t.closed.Load() {
 		t.shardMu[i].Unlock()
-		return tuple.Tuple{}, t.errClosed()
+		return tuple.Tuple{}, wal.CommitWait{}, t.errClosed()
 	}
 	tp, err := t.store.InsertShard(i, now, attrs)
 	inStore := err == nil
+	var wait wal.CommitWait
 	if err == nil && t.log != nil {
-		err = t.log.AppendInsert(i, tp)
+		if err = t.log.AppendInsert(i, tp); err == nil {
+			wait, err = t.noteAppendLocked(i, 1)
+		}
 	}
 	t.shardMu[i].Unlock()
 	// Count every tuple that reached the store, even when logging it
@@ -286,9 +345,9 @@ func (t *Table) Insert(attrs []tuple.Value) (tuple.Tuple, error) {
 		}
 	}
 	if err != nil {
-		return tuple.Tuple{}, err
+		return tuple.Tuple{}, wal.CommitWait{}, err
 	}
-	return tp, nil
+	return tp, wait, nil
 }
 
 // InsertBatch appends a batch of rows, grouping them by destination
@@ -300,17 +359,27 @@ func (t *Table) Insert(attrs []tuple.Value) (tuple.Tuple, error) {
 // partially applied (the error names the first failing shard group);
 // returned tuples of failed rows are zero-valued.
 func (t *Table) InsertBatch(rows [][]tuple.Value) ([]tuple.Tuple, error) {
+	tps, _, err := t.InsertBatchDurable(rows)
+	return tps, err
+}
+
+// InsertBatchDurable is InsertBatch returning one WAL commit future
+// covering the whole batch (see InsertDurable for the per-level wait
+// semantics). Shard groups note their appends independently, so a
+// batch straddling a group-commit window swap waits on every window it
+// touched.
+func (t *Table) InsertBatchDurable(rows [][]tuple.Value) ([]tuple.Tuple, wal.CommitWait, error) {
 	if len(rows) == 0 {
-		return nil, nil
+		return nil, wal.CommitWait{}, nil
 	}
 	// Validate every row before dealing rotation slots (see Insert).
 	for r, row := range rows {
 		if err := t.cfg.Schema.Validate(row); err != nil {
-			return nil, fmt.Errorf("core: batch row %d: %w", r, err)
+			return nil, wal.CommitWait{}, fmt.Errorf("core: batch row %d: %w", r, err)
 		}
 	}
 	if t.closed.Load() {
-		return nil, t.errClosed()
+		return nil, wal.CommitWait{}, t.errClosed()
 	}
 	now := t.clk.Now()
 	n := t.store.NumShards()
@@ -321,6 +390,7 @@ func (t *Table) InsertBatch(rows [][]tuple.Value) ([]tuple.Tuple, error) {
 		groups[i] = append(groups[i], r)
 	}
 	results := make([]tuple.Tuple, len(rows))
+	waits := make([]wal.CommitWait, n)
 	var inserted atomic.Int64
 	err := fanOut(n, t.workers, func(i int) error {
 		if len(groups[i]) == 0 {
@@ -331,6 +401,7 @@ func (t *Table) InsertBatch(rows [][]tuple.Value) ([]tuple.Tuple, error) {
 		if t.closed.Load() {
 			return t.errClosed()
 		}
+		logged := 0
 		for _, r := range groups[i] {
 			tp, err := t.store.InsertShard(i, now, rows[r])
 			if err != nil {
@@ -345,13 +416,90 @@ func (t *Table) InsertBatch(rows [][]tuple.Value) ([]tuple.Tuple, error) {
 				if err := t.log.AppendInsert(i, tp); err != nil {
 					return err
 				}
+				logged++
 			}
+		}
+		if logged > 0 {
+			var err error
+			waits[i], err = t.noteAppendLocked(i, logged)
+			return err
 		}
 		return nil
 	})
+	wait := wal.JoinWaits(waits)
 	t.mu.Lock()
 	t.ctrs.Inserted += uint64(inserted.Load())
 	due := t.noteMutationLocked(int(inserted.Load()))
+	t.mu.Unlock()
+	if err != nil {
+		return results, wait, err
+	}
+	if due {
+		if err := t.Checkpoint(); err != nil {
+			return results, wait, err
+		}
+	}
+	return results, wait, nil
+}
+
+// NextShard claims the next slot in the table's round-robin insert
+// rotation and returns the destination shard index. The ingest
+// pipeline's bounded-queue producer claims slots at enqueue time so
+// the shard rotation follows source arrival order even when per-shard
+// consumers drain at different speeds. Safe for concurrent use.
+func (t *Table) NextShard() int { return t.store.NextShard() }
+
+// InsertShardBatch appends rows to shard i alone, under only shard i's
+// lock — no other shard is touched, so a slow (contended) shard never
+// blocks inserts to the others. Callers route rows themselves, having
+// claimed rotation slots via NextShard; the bounded-queue ingest
+// consumers are the intended user. Rows are validated first; on error
+// the batch may be partially applied and failed rows come back
+// zero-valued, like InsertBatch.
+func (t *Table) InsertShardBatch(i int, rows [][]tuple.Value) ([]tuple.Tuple, error) {
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	for r, row := range rows {
+		if err := t.cfg.Schema.Validate(row); err != nil {
+			return nil, fmt.Errorf("core: batch row %d: %w", r, err)
+		}
+	}
+	if t.closed.Load() {
+		return nil, t.errClosed()
+	}
+	now := t.clk.Now()
+	results := make([]tuple.Tuple, len(rows))
+	inserted, logged := 0, 0
+	t.shardMu[i].Lock()
+	var err error
+	if t.closed.Load() {
+		err = t.errClosed()
+	} else {
+		for r := range rows {
+			tp, ierr := t.store.InsertShard(i, now, rows[r])
+			if ierr != nil {
+				err = ierr
+				break
+			}
+			results[r] = tp
+			inserted++
+			if t.log != nil {
+				if lerr := t.log.AppendInsert(i, tp); lerr != nil {
+					err = lerr
+					break
+				}
+				logged++
+			}
+		}
+		if err == nil && logged > 0 {
+			_, err = t.noteAppendLocked(i, logged)
+		}
+	}
+	t.shardMu[i].Unlock()
+	t.mu.Lock()
+	t.ctrs.Inserted += uint64(inserted)
+	due := t.noteMutationLocked(inserted)
 	t.mu.Unlock()
 	if err != nil {
 		return results, err
@@ -589,6 +737,7 @@ func (t *Table) consumeLocked(pred *query.Predicate, opt QueryOpts) (*query.Resu
 		}
 	}
 
+	evictLogged := make([]int, n)
 	for i := range res.Tuples {
 		id := res.Tuples[i].ID
 		s := t.store.ShardOf(id)
@@ -602,6 +751,15 @@ func (t *Table) consumeLocked(pred *query.Predicate, opt QueryOpts) (*query.Resu
 			if err := t.log.AppendEvict(s, id); err != nil {
 				return nil, false, err
 			}
+			evictLogged[s]++
+		}
+	}
+	for s, logged := range evictLogged {
+		if logged == 0 {
+			continue
+		}
+		if _, err := t.noteAppendLocked(s, logged); err != nil {
+			return nil, false, err
 		}
 	}
 	t.mu.Lock()
@@ -761,6 +919,7 @@ func (t *Table) Tick() (TableTickReport, error) {
 				}
 				doomed[i] = dd
 			}
+			logged := 0
 			for _, id := range buf {
 				if err := sh.Evict(id); err != nil {
 					return fmt.Errorf("core: rot evict: %w", err)
@@ -769,6 +928,12 @@ func (t *Table) Tick() (TableTickReport, error) {
 					if err := t.log.AppendEvict(i, id); err != nil {
 						return err
 					}
+					logged++
+				}
+			}
+			if logged > 0 {
+				if _, err := t.noteAppendLocked(i, logged); err != nil {
+					return err
 				}
 			}
 			return nil
@@ -816,7 +981,7 @@ func (t *Table) Tick() (TableTickReport, error) {
 	return rep, nil
 }
 
-// WALInfo describes a table's persistence layout.
+// WALInfo describes a table's persistence layout and durability state.
 type WALInfo struct {
 	// Persistent reports whether the table has a WAL at all.
 	Persistent bool
@@ -825,6 +990,15 @@ type WALInfo struct {
 	// Generation is the committed snapshot generation (0 = no
 	// checkpoint has completed yet).
 	Generation uint64
+	// SyncMode is the resolved durability level ("none", "grouped",
+	// "strict").
+	SyncMode string
+	// GroupCommits counts fsync-backed group flushes (grouped mode
+	// only).
+	GroupCommits uint64
+	// AvgGroupSize is the mean records per group commit — the
+	// amortisation factor over per-append fsyncs (grouped mode only).
+	AvgGroupSize float64
 }
 
 // WALInfo returns the table's current persistence layout; the zero
@@ -836,7 +1010,41 @@ func (t *Table) WALInfo() WALInfo {
 		return WALInfo{}
 	}
 	m := t.log.Manifest()
-	return WALInfo{Persistent: true, LogShards: m.Shards, Generation: m.Generation}
+	info := WALInfo{
+		Persistent: true,
+		LogShards:  m.Shards,
+		Generation: m.Generation,
+		SyncMode:   t.durability.String(),
+	}
+	if t.gc != nil {
+		st := t.gc.Stats()
+		info.GroupCommits = st.Commits
+		info.AvgGroupSize = st.AvgGroupSize()
+	}
+	return info
+}
+
+// Durability returns the table's resolved WAL sync level (never
+// wal.DurabilityDefault).
+func (t *Table) Durability() wal.DurabilityLevel { return t.durability }
+
+// SyncWAL forces everything appended so far to disk, regardless of the
+// durability level: grouped mode flushes the pending commit window
+// (resolving its waits), the other modes fsync every shard log. No-op
+// for in-memory tables. It takes no shard lock, so it can run
+// concurrently with inserts — records appended after the call may or
+// may not be covered.
+func (t *Table) SyncWAL() error {
+	t.mu.Lock()
+	log, gc := t.log, t.gc
+	t.mu.Unlock()
+	if log == nil {
+		return nil
+	}
+	if gc != nil {
+		return gc.Flush()
+	}
+	return log.Sync()
 }
 
 // Compact reclaims tombstone space in sealed segments of every shard.
@@ -888,6 +1096,12 @@ func (t *Table) checkpointHeld() error {
 	if err := t.log.Checkpoint(t.store, t.workers); err != nil {
 		return err
 	}
+	if t.gc != nil {
+		// The committed snapshots captured every appended record (all
+		// shard locks are held, so nothing new can have been noted),
+		// which makes the pending window durable without an fsync.
+		t.gc.ResolveCheckpointed()
+	}
 	t.mu.Lock()
 	t.mutations = 0
 	t.mu.Unlock()
@@ -905,13 +1119,26 @@ func (t *Table) Close() error {
 	if t.log == nil {
 		return nil
 	}
+	// Stop the group-commit daemon before the final checkpoint: its
+	// shutdown flush fsyncs everything pending, and nothing can be
+	// noted afterwards (all shard locks are held), so the daemon never
+	// races the log files closing below.
+	var gcErr error
+	if t.gc != nil {
+		gcErr = t.gc.Close()
+	}
 	err := t.checkpointHeld()
+	if err == nil {
+		err = gcErr
+	}
 	cerr := t.log.Close()
-	// t.log is read under shard locks (append paths) and under t.mu
-	// (checkpoint scheduling); Close holds all shard locks, so taking
-	// t.mu too makes the nil-out visible to both classes of reader.
+	// t.log and t.gc are read under shard locks (append paths) and
+	// under t.mu (checkpoint scheduling, SyncWAL, WALInfo); Close holds
+	// all shard locks, so taking t.mu too makes the nil-out visible to
+	// both classes of reader.
 	t.mu.Lock()
 	t.log = nil
+	t.gc = nil
 	t.mu.Unlock()
 	if err != nil {
 		return err

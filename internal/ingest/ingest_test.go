@@ -8,6 +8,7 @@ import (
 
 	"fungusdb/internal/core"
 	"fungusdb/internal/tuple"
+	"fungusdb/internal/wal"
 	"fungusdb/internal/workload"
 )
 
@@ -224,5 +225,164 @@ func TestContextCancellationStops(t *testing.T) {
 	case <-p.done:
 	case <-time.After(2 * time.Second):
 		t.Fatal("worker did not exit on context cancellation")
+	}
+}
+
+// --- bounded-queue background mode ------------------------------------
+
+func newShardedTable(t *testing.T, schema *tuple.Schema, shards int) *core.Table {
+	t.Helper()
+	db, err := core.Open(core.DBConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	tbl, err := db.CreateTable("t", core.TableConfig{Schema: schema, Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+// Stop drains: every row handed to a shard queue is inserted before
+// Stop returns, and the counters conserve (pulled = inserted +
+// refiner-dropped + queue-shed).
+func TestBoundedQueueDrainsOnStop(t *testing.T) {
+	gen := workload.NewIoT(5, 11)
+	tbl := newShardedTable(t, gen.Schema(), 4)
+	p, err := New(gen, tbl, Config{BatchSize: 32, QueueDepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for tbl.Len() < 500 {
+		select {
+		case <-deadline:
+			t.Fatalf("bounded-queue ingest too slow: %d rows", tbl.Len())
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	p.Stop()
+	st := p.Stats()
+	if st.Enqueued == 0 {
+		t.Fatal("nothing enqueued")
+	}
+	if st.Inserted != st.Enqueued {
+		t.Errorf("inserted %d != enqueued %d (Stop must drain the queues)", st.Inserted, st.Enqueued)
+	}
+	if got := uint64(tbl.Len()); got != st.Inserted {
+		t.Errorf("table %d != inserted %d", got, st.Inserted)
+	}
+	if st.Pulled != st.Inserted+st.Dropped+st.QueueDropped {
+		t.Errorf("conservation broken: pulled %d != inserted %d + dropped %d + shed %d",
+			st.Pulled, st.Inserted, st.Dropped, st.QueueDropped)
+	}
+	if st.Flushes == 0 {
+		t.Error("no consumer flushes recorded")
+	}
+}
+
+// QueueDepths reports one entry per shard while running, nil after.
+func TestQueueDepthsLifecycle(t *testing.T) {
+	gen := workload.NewIoT(5, 12)
+	tbl := newShardedTable(t, gen.Schema(), 3)
+	p, err := New(gen, tbl, Config{BatchSize: 16, RatePerSecond: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.QueueDepths() != nil {
+		t.Error("queue depths non-nil before Start")
+	}
+	if err := p.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.QueueDepths(); len(got) != 3 {
+		t.Errorf("queue depths = %v, want 3 entries", got)
+	}
+	p.Stop()
+	if p.QueueDepths() != nil {
+		t.Error("queue depths non-nil after Stop")
+	}
+}
+
+// DropWhenFull sheds instead of blocking: with a strict-durability
+// (fsync-per-append) single shard and a one-slot queue, the unthrottled
+// producer must overrun the consumer and count drops — while everything
+// enqueued still lands.
+func TestDropWhenFullShedsLoad(t *testing.T) {
+	gen := workload.NewIoT(5, 13)
+	db, err := core.Open(core.DBConfig{Seed: 1, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	tbl, err := db.CreateTable("t", core.TableConfig{
+		Schema: gen.Schema(), Shards: 1, Persist: true, Durability: wal.DurabilityStrict,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(gen, tbl, Config{BatchSize: 64, QueueDepth: 1, DropWhenFull: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(10 * time.Second)
+	for p.Stats().QueueDropped == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("drop policy never shed a row")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	p.Stop()
+	st := p.Stats()
+	if st.Inserted != st.Enqueued {
+		t.Errorf("inserted %d != enqueued %d", st.Inserted, st.Enqueued)
+	}
+	if st.Pulled != st.Inserted+st.Dropped+st.QueueDropped {
+		t.Errorf("conservation broken: %+v", st)
+	}
+}
+
+// The refiner still runs (producer-side) in background mode, and
+// refined-away rows never reach a queue.
+func TestBackgroundRefinerRuns(t *testing.T) {
+	gen := workload.NewSyslog(4, 14)
+	tbl := newShardedTable(t, gen.Schema(), 2)
+	refiner := RefinerFunc(func(row []tuple.Value) (bool, error) {
+		return row[1].AsInt() < 6, nil
+	})
+	p, err := New(gen, tbl, Config{BatchSize: 25, Refiner: refiner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		st := p.Stats()
+		if st.Dropped > 50 && st.Inserted > 5 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("refiner starved: %+v", p.Stats())
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	p.Stop()
+	st := p.Stats()
+	if st.Enqueued+st.Dropped+st.QueueDropped != st.Pulled {
+		t.Errorf("refined rows leaked into the queues: %+v", st)
 	}
 }

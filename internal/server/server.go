@@ -28,6 +28,7 @@ import (
 	"fungusdb/internal/query"
 	"fungusdb/internal/sketch"
 	"fungusdb/internal/tuple"
+	"fungusdb/internal/wal"
 )
 
 // Server is the HTTP front end of one DB.
@@ -126,6 +127,10 @@ func (s *Server) createEphemeral(spec catalog.TableSpec) error {
 	if err != nil {
 		return err
 	}
+	durability, err := wal.ParseDurability(spec.Durability)
+	if err != nil {
+		return err
+	}
 	_, err = s.db.CreateTable(spec.Name, core.TableConfig{
 		Schema:            schema,
 		Fungus:            f,
@@ -135,6 +140,7 @@ func (s *Server) createEphemeral(spec catalog.TableSpec) error {
 		TouchOnRead:       spec.TouchOnRead,
 		DistillOnRot:      spec.DistillOnRot,
 		ContainerHalfLife: spec.ContainerHalfLife,
+		Durability:        durability,
 	})
 	return err
 }
@@ -260,7 +266,14 @@ type StatsResponse struct {
 	// omitted for in-memory tables.
 	WALShards     int    `json:"wal_shards,omitempty"`
 	WALGeneration uint64 `json:"wal_generation,omitempty"`
-	Persistent    bool   `json:"persistent"`
+	// WALSyncMode is the resolved durability level ("none", "grouped",
+	// "strict"); GroupCommits and AvgGroupSize report the group-commit
+	// daemon's fsync batching in grouped mode. All omitted for
+	// in-memory tables.
+	WALSyncMode  string  `json:"wal_sync_mode,omitempty"`
+	GroupCommits uint64  `json:"group_commits,omitempty"`
+	AvgGroupSize float64 `json:"avg_group_size,omitempty"`
+	Persistent   bool    `json:"persistent"`
 }
 
 func (s *Server) tableStats(w http.ResponseWriter, r *http.Request) {
@@ -276,7 +289,9 @@ func (s *Server) tableStats(w http.ResponseWriter, r *http.Request) {
 		Inserted: c.Inserted, Rotted: c.Rotted, Consumed: c.Consumed,
 		Distilled: c.DistilledRot + c.DistilledQuery,
 		Queries:   c.Queries, Ticks: c.Ticks, CaptureRate: c.CaptureRate(),
-		WALShards: wi.LogShards, WALGeneration: wi.Generation, Persistent: wi.Persistent,
+		WALShards: wi.LogShards, WALGeneration: wi.Generation,
+		WALSyncMode: wi.SyncMode, GroupCommits: wi.GroupCommits, AvgGroupSize: wi.AvgGroupSize,
+		Persistent: wi.Persistent,
 	})
 }
 

@@ -284,3 +284,38 @@ func TestUnknownRoute(t *testing.T) {
 		t.Errorf("status = %d", resp.StatusCode)
 	}
 }
+
+func TestDurabilityStatsOverHTTP(t *testing.T) {
+	dir := t.TempDir()
+	db, err := core.Open(core.DBConfig{Seed: 5, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ts := httptest.NewServer(New(db))
+	defer ts.Close()
+	c := NewClient(ts.URL, ts.Client())
+
+	s := spec()
+	s.Durability = "grouped"
+	if err := c.CreateTable(s, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Insert(s.Name, [][]any{{"web-1", 1, 1.0, true}}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats(s.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Persistent || st.WALSyncMode != "grouped" {
+		t.Errorf("stats = %+v, want persistent grouped", st)
+	}
+	// Unknown durability levels are rejected at create time.
+	bad := spec()
+	bad.Name = "bad"
+	bad.Durability = "paranoid"
+	if err := c.CreateTable(bad, false); err == nil {
+		t.Error("bad durability accepted over HTTP")
+	}
+}

@@ -1,0 +1,328 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// DurabilityLevel selects when WAL appends are fsynced, trading
+// ingestion throughput against the window of acknowledged-but-lost
+// records after a crash. docs/DURABILITY.md tabulates the guarantees.
+type DurabilityLevel uint8
+
+// The durability levels, weakest to strongest.
+const (
+	// DurabilityDefault inherits the enclosing configuration's default
+	// (core.DBConfig.Durability for tables); the DB-level default of
+	// DurabilityDefault resolves to DurabilityNone.
+	DurabilityDefault DurabilityLevel = iota
+	// DurabilityNone buffers appends and fsyncs only at checkpoint,
+	// Sync and Close — the pre-group-commit behaviour. A crash can lose
+	// every record since the last checkpoint.
+	DurabilityNone
+	// DurabilityGrouped batches appends into a pending window that a
+	// background GroupCommitter fsyncs once per window (size threshold
+	// or tick). Appends return a CommitWait that resolves after the
+	// batched fsync; a crash loses only appends whose wait had not
+	// resolved.
+	DurabilityGrouped
+	// DurabilityStrict fsyncs the owning shard's log before every
+	// append acknowledges. Nothing acknowledged is ever lost, at the
+	// cost of one fsync per append.
+	DurabilityStrict
+)
+
+// String returns the spec/flag spelling of the level.
+func (l DurabilityLevel) String() string {
+	switch l {
+	case DurabilityDefault:
+		return "default"
+	case DurabilityNone:
+		return "none"
+	case DurabilityGrouped:
+		return "grouped"
+	case DurabilityStrict:
+		return "strict"
+	}
+	return fmt.Sprintf("DurabilityLevel(%d)", uint8(l))
+}
+
+// ParseDurability parses a spec/flag spelling ("", "default", "none",
+// "grouped", "strict") into a DurabilityLevel.
+func ParseDurability(s string) (DurabilityLevel, error) {
+	switch s {
+	case "", "default":
+		return DurabilityDefault, nil
+	case "none":
+		return DurabilityNone, nil
+	case "grouped":
+		return DurabilityGrouped, nil
+	case "strict":
+		return DurabilityStrict, nil
+	}
+	return DurabilityDefault, fmt.Errorf("wal: unknown durability level %q (want none, grouped or strict)", s)
+}
+
+// GroupCommitConfig tunes a GroupCommitter's flush window.
+type GroupCommitConfig struct {
+	// Interval is the flush tick: the daemon fsyncs the pending window
+	// at least this often while records are pending. 0 means the
+	// 2ms default; negative disables the ticker entirely (flushes
+	// happen only on the size threshold, Flush, or Close — tests use
+	// this for deterministic windows).
+	Interval time.Duration
+	// SizeThreshold flushes the window early once this many records are
+	// pending, bounding the unacknowledged window under burst load.
+	// 0 means the 512-record default.
+	SizeThreshold int
+}
+
+// Group-commit window defaults.
+const (
+	DefaultGroupInterval = 2 * time.Millisecond
+	DefaultGroupSize     = 512
+)
+
+func (c GroupCommitConfig) withDefaults() GroupCommitConfig {
+	if c.Interval == 0 {
+		c.Interval = DefaultGroupInterval
+	}
+	if c.SizeThreshold <= 0 {
+		c.SizeThreshold = DefaultGroupSize
+	}
+	return c
+}
+
+// commitBatch is one pending window: the records noted since the last
+// flush and the channel their CommitWaits block on.
+type commitBatch struct {
+	done    chan struct{}
+	err     error // valid after done closes
+	records int
+	dirty   []bool // shards with pending records
+}
+
+func newBatch(shards int) *commitBatch {
+	return &commitBatch{done: make(chan struct{}), dirty: make([]bool, shards)}
+}
+
+// CommitWait is the commit future returned by group-commit appends: it
+// resolves once every record it covers is durable (fsynced, or captured
+// by a checkpoint's committed snapshot). The zero value is already
+// resolved — strict appends (durable before return) and non-persistent
+// tables hand it out.
+type CommitWait struct {
+	batches []*commitBatch
+}
+
+// Wait blocks until the commit covering this append completes,
+// returning the fsync error (nil on success). Waiting on the zero
+// value returns nil immediately.
+func (w CommitWait) Wait() error {
+	var errs []error
+	for _, b := range w.batches {
+		<-b.done
+		if b.err != nil {
+			errs = append(errs, b.err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Resolved reports, without blocking, whether the commit has completed.
+func (w CommitWait) Resolved() bool {
+	for _, b := range w.batches {
+		select {
+		case <-b.done:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// JoinWaits merges commit futures (a batch insert's shard groups may
+// straddle a window swap) into one wait over the union of their
+// batches: it resolves when every input has resolved, joining errors.
+func JoinWaits(ws []CommitWait) CommitWait {
+	var out CommitWait
+	for _, w := range ws {
+		out.batches = append(out.batches, w.batches...)
+	}
+	return out
+}
+
+// GroupCommitStats snapshots a GroupCommitter's lifetime counters.
+type GroupCommitStats struct {
+	// Commits is the number of fsync-backed group flushes performed.
+	Commits uint64
+	// Records is the total records those flushes made durable; Records
+	// / Commits is the average group size (the amortisation factor over
+	// per-append fsyncs).
+	Records uint64
+}
+
+// AvgGroupSize returns Records/Commits (0 before the first commit).
+func (s GroupCommitStats) AvgGroupSize() float64 {
+	if s.Commits == 0 {
+		return 0
+	}
+	return float64(s.Records) / float64(s.Commits)
+}
+
+// GroupCommitter is the per-ShardedLog group-commit daemon: appenders
+// Note their records into the pending window and the daemon fsyncs
+// every dirty shard log once per window — flushing when the window
+// reaches GroupCommitConfig.SizeThreshold or on the Interval tick —
+// then resolves the window's CommitWaits.
+//
+// Locking/durability contract: Note is safe from any goroutine and
+// never blocks on I/O (appenders call it under their shard lock; the
+// committer itself takes no shard locks, so flushes can never deadlock
+// with the engine). A record must be appended to its shard log BEFORE
+// it is noted: the flush that covers a note flushes and fsyncs
+// everything appended before it, so the wait resolving implies the
+// record is on disk.
+type GroupCommitter struct {
+	sl  *ShardedLog
+	cfg GroupCommitConfig
+
+	mu    sync.Mutex
+	cur   *commitBatch
+	stats GroupCommitStats
+
+	flushMu sync.Mutex // serialises flushes so commits resolve in window order
+	kick    chan struct{}
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// NewGroupCommitter starts a group-commit daemon over sl. Callers must
+// Close it (which performs a final flush) before closing sl.
+func NewGroupCommitter(sl *ShardedLog, cfg GroupCommitConfig) *GroupCommitter {
+	g := &GroupCommitter{
+		sl:   sl,
+		cfg:  cfg.withDefaults(),
+		cur:  newBatch(sl.NumShards()),
+		kick: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go g.run()
+	return g
+}
+
+// Note registers n records just appended to shard i's log with the
+// pending window and returns the commit future resolved by the window's
+// flush. The records must already be appended (see the type contract).
+func (g *GroupCommitter) Note(i, n int) CommitWait {
+	g.mu.Lock()
+	b := g.cur
+	b.dirty[i] = true
+	b.records += n
+	full := b.records >= g.cfg.SizeThreshold
+	g.mu.Unlock()
+	if full {
+		select {
+		case g.kick <- struct{}{}:
+		default:
+		}
+	}
+	return CommitWait{batches: []*commitBatch{b}}
+}
+
+// run is the daemon loop: flush on tick, on a size-threshold kick, and
+// once more on stop.
+func (g *GroupCommitter) run() {
+	defer close(g.done)
+	var tickC <-chan time.Time
+	if g.cfg.Interval > 0 {
+		tick := time.NewTicker(g.cfg.Interval)
+		defer tick.Stop()
+		tickC = tick.C
+	}
+	for {
+		select {
+		case <-g.stop:
+			g.Flush()
+			return
+		case <-g.kick:
+			g.Flush()
+		case <-tickC:
+			g.Flush()
+		}
+	}
+}
+
+// Flush synchronously commits the pending window: swap in a fresh
+// window, fsync every dirty shard log, then resolve the old window's
+// waits with the joined per-shard error. An empty window is a no-op.
+func (g *GroupCommitter) Flush() error {
+	g.flushMu.Lock()
+	defer g.flushMu.Unlock()
+	g.mu.Lock()
+	b := g.cur
+	if b.records == 0 {
+		g.mu.Unlock()
+		return nil
+	}
+	g.cur = newBatch(g.sl.NumShards())
+	g.mu.Unlock()
+
+	var errs []error
+	for i, dirty := range b.dirty {
+		if !dirty {
+			continue
+		}
+		if err := g.sl.SyncShard(i); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	b.err = errors.Join(errs...)
+
+	g.mu.Lock()
+	g.stats.Commits++
+	g.stats.Records += uint64(b.records)
+	g.mu.Unlock()
+	close(b.done)
+	return b.err
+}
+
+// ResolveCheckpointed resolves the pending window WITHOUT fsyncing:
+// the caller just committed a checkpoint whose snapshots captured every
+// appended record (it holds all shard locks, so no new note can race
+// in), which makes the window durable through the manifest instead of
+// the logs. Not counted as a group commit in the stats.
+func (g *GroupCommitter) ResolveCheckpointed() {
+	g.mu.Lock()
+	b := g.cur
+	if b.records == 0 {
+		g.mu.Unlock()
+		return
+	}
+	g.cur = newBatch(g.sl.NumShards())
+	g.mu.Unlock()
+	close(b.done)
+}
+
+// Stats snapshots the lifetime group-commit counters.
+func (g *GroupCommitter) Stats() GroupCommitStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stats
+}
+
+// Close stops the daemon and performs a final flush, resolving every
+// outstanding wait. It must be called before the underlying ShardedLog
+// closes; it is idempotent only in the sense that the caller must not
+// Note after it returns.
+func (g *GroupCommitter) Close() error {
+	close(g.stop)
+	<-g.done
+	// The daemon's own shutdown flush already drained the window; a
+	// direct Flush picks up anything noted between that flush and the
+	// daemon exit (not possible under the engine's locking, but cheap).
+	return g.Flush()
+}

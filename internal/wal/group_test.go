@@ -1,0 +1,263 @@
+package wal
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// manualGC builds a committer with no ticker and an unreachable size
+// threshold, so windows flush only when the test says so.
+func manualGC(sl *ShardedLog) *GroupCommitter {
+	return NewGroupCommitter(sl, GroupCommitConfig{Interval: -1, SizeThreshold: 1 << 30})
+}
+
+func TestParseDurabilityRoundTrip(t *testing.T) {
+	for _, l := range []DurabilityLevel{DurabilityNone, DurabilityGrouped, DurabilityStrict} {
+		got, err := ParseDurability(l.String())
+		if err != nil || got != l {
+			t.Errorf("ParseDurability(%q) = %v, %v", l.String(), got, err)
+		}
+	}
+	for _, s := range []string{"", "default"} {
+		if got, err := ParseDurability(s); err != nil || got != DurabilityDefault {
+			t.Errorf("ParseDurability(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseDurability("fsync-sometimes"); err == nil {
+		t.Error("bad level accepted")
+	}
+}
+
+// A wait is unresolved until its window flushes, resolved after, and a
+// zero CommitWait is born resolved.
+func TestGroupCommitWaitResolvesOnFlush(t *testing.T) {
+	dir := t.TempDir()
+	ss, sl := buildSharded(t, dir, 2, 0)
+	gc := manualGC(sl)
+	defer sl.Close()
+	defer gc.Close()
+
+	if !(CommitWait{}).Resolved() {
+		t.Error("zero CommitWait not resolved")
+	}
+	i := ss.NextShard()
+	tp, err := ss.InsertShard(i, 1, row("dev", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sl.AppendInsert(i, tp); err != nil {
+		t.Fatal(err)
+	}
+	w := gc.Note(i, 1)
+	if w.Resolved() {
+		t.Error("wait resolved before any flush")
+	}
+	if err := gc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Resolved() {
+		t.Error("wait unresolved after flush")
+	}
+	if err := w.Wait(); err != nil {
+		t.Errorf("wait err = %v", err)
+	}
+	st := gc.Stats()
+	if st.Commits != 1 || st.Records != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// The size threshold flushes the window without a tick or manual kick.
+func TestGroupCommitSizeThresholdFlushes(t *testing.T) {
+	dir := t.TempDir()
+	ss, sl := buildSharded(t, dir, 1, 0)
+	gc := NewGroupCommitter(sl, GroupCommitConfig{Interval: -1, SizeThreshold: 8})
+	defer sl.Close()
+	defer gc.Close()
+
+	var last CommitWait
+	for k := 0; k < 8; k++ {
+		tp, err := ss.InsertShard(0, 1, row("dev", int64(k)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sl.AppendInsert(0, tp); err != nil {
+			t.Fatal(err)
+		}
+		last = gc.Note(0, 1)
+	}
+	// The eighth note kicked the daemon; the flush is asynchronous.
+	if err := last.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if st := gc.Stats(); st.Records != 8 {
+		t.Errorf("records = %d, want 8", st.Records)
+	}
+}
+
+// The interval ticker flushes a sub-threshold window on its own.
+func TestGroupCommitTickFlushes(t *testing.T) {
+	dir := t.TempDir()
+	ss, sl := buildSharded(t, dir, 1, 0)
+	gc := NewGroupCommitter(sl, GroupCommitConfig{Interval: time.Millisecond, SizeThreshold: 1 << 30})
+	defer sl.Close()
+	defer gc.Close()
+
+	tp, err := ss.InsertShard(0, 1, row("dev", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sl.AppendInsert(0, tp); err != nil {
+		t.Fatal(err)
+	}
+	w := gc.Note(0, 1)
+	done := make(chan error, 1)
+	go func() { done <- w.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("tick never flushed the window")
+	}
+}
+
+// Close resolves every outstanding wait (the shutdown flush).
+func TestGroupCommitCloseResolvesPending(t *testing.T) {
+	dir := t.TempDir()
+	ss, sl := buildSharded(t, dir, 3, 9)
+	gc := manualGC(sl)
+	i := ss.NextShard()
+	tp, err := ss.InsertShard(i, 1, row("dev", 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sl.AppendInsert(i, tp); err != nil {
+		t.Fatal(err)
+	}
+	w := gc.Note(i, 1)
+	if err := gc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Resolved() {
+		t.Error("Close left a wait pending")
+	}
+	if err := sl.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Concurrent noters across shards all resolve, and the record/commit
+// accounting conserves: every noted record is covered by exactly one
+// commit.
+func TestGroupCommitConcurrentNoters(t *testing.T) {
+	const shards, perShard = 4, 200
+	dir := t.TempDir()
+	ss, sl := buildSharded(t, dir, shards, 0)
+	gc := NewGroupCommitter(sl, GroupCommitConfig{Interval: 500 * time.Microsecond, SizeThreshold: 32})
+	defer sl.Close()
+
+	// One mutex per shard serialises append+note pairs, standing in for
+	// the engine's shard locks.
+	locks := make([]sync.Mutex, shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < perShard; k++ {
+				locks[i].Lock()
+				tp, err := ss.InsertShard(i, 1, row("dev", int64(k)))
+				if err != nil {
+					locks[i].Unlock()
+					t.Error(err)
+					return
+				}
+				if err := sl.AppendInsert(i, tp); err != nil {
+					locks[i].Unlock()
+					t.Error(err)
+					return
+				}
+				w := gc.Note(i, 1)
+				locks[i].Unlock()
+				if err := w.Wait(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := gc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := gc.Stats()
+	if st.Records != shards*perShard {
+		t.Errorf("committed %d records, want %d", st.Records, shards*perShard)
+	}
+	if st.Commits == 0 || st.Commits > st.Records {
+		t.Errorf("commits = %d for %d records", st.Commits, st.Records)
+	}
+	if avg := st.AvgGroupSize(); avg < 1 {
+		t.Errorf("avg group size = %g", avg)
+	}
+}
+
+// Sync must attempt every shard and join every failure, not just the
+// first: both broken shards appear in the error.
+func TestShardedSyncJoinsAllShardErrors(t *testing.T) {
+	dir := t.TempDir()
+	ss, sl := buildSharded(t, dir, 4, 0)
+	// Buffer a record on every shard so each Sync has work to flush.
+	for i := 0; i < 4; i++ {
+		tp, err := ss.InsertShard(i, 1, row("dev", int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sl.AppendInsert(i, tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Break shards 1 and 3 underneath their Logs.
+	sl.logs[1].f.Close()
+	sl.logs[3].f.Close()
+	err := sl.Sync()
+	if err == nil {
+		t.Fatal("Sync over broken shards returned nil")
+	}
+	for _, want := range []string{"shard 1", "shard 3"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error misses %q: %v", want, err)
+		}
+	}
+	if strings.Contains(err.Error(), "shard 0") || strings.Contains(err.Error(), "shard 2") {
+		t.Errorf("healthy shards reported broken: %v", err)
+	}
+}
+
+// A flush that hits a broken shard delivers the error to that window's
+// waiters instead of swallowing it.
+func TestGroupCommitFlushErrorReachesWaiters(t *testing.T) {
+	dir := t.TempDir()
+	ss, sl := buildSharded(t, dir, 2, 0)
+	gc := manualGC(sl)
+	defer gc.Close()
+	tp, err := ss.InsertShard(1, 1, row("dev", 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sl.AppendInsert(1, tp); err != nil {
+		t.Fatal(err)
+	}
+	w := gc.Note(1, 1)
+	sl.logs[1].f.Close()
+	if err := gc.Flush(); err == nil {
+		t.Fatal("flush over a broken shard returned nil")
+	}
+	if err := w.Wait(); err == nil {
+		t.Error("waiter did not observe the flush error")
+	}
+}

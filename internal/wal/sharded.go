@@ -176,32 +176,43 @@ func (sl *ShardedLog) AppendEvict(i int, id tuple.ID) error {
 	return sl.logs[i].AppendEvict(id)
 }
 
-// Sync flushes and fsyncs every shard log.
-func (sl *ShardedLog) Sync() error {
-	var first error
-	for _, l := range sl.logs {
-		if l == nil {
-			continue
-		}
-		if err := l.Sync(); err != nil && first == nil {
-			first = err
-		}
-	}
-	return first
+// SyncShard flushes and fsyncs shard i's log alone. The group-commit
+// daemon uses it to fsync only the shards dirtied by the pending
+// window; it takes no shard lock (Log serialises internally), so it is
+// safe to call concurrently with appends to any shard.
+func (sl *ShardedLog) SyncShard(i int) error {
+	return sl.logs[i].Sync()
 }
 
-// Close flushes and closes every shard log.
-func (sl *ShardedLog) Close() error {
-	var first error
-	for _, l := range sl.logs {
+// Sync flushes and fsyncs every shard log. Every shard is attempted
+// even when an earlier one fails; the joined error names each failing
+// shard, so no shard failure is silently dropped.
+func (sl *ShardedLog) Sync() error {
+	errs := make([]error, 0, len(sl.logs))
+	for i, l := range sl.logs {
 		if l == nil {
 			continue
 		}
-		if err := l.Close(); err != nil && first == nil {
-			first = err
+		if err := l.Sync(); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
 		}
 	}
-	return first
+	return errors.Join(errs...)
+}
+
+// Close flushes and closes every shard log, joining per-shard errors
+// like Sync.
+func (sl *ShardedLog) Close() error {
+	errs := make([]error, 0, len(sl.logs))
+	for i, l := range sl.logs {
+		if l == nil {
+			continue
+		}
+		if err := l.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // Checkpoint snapshots every shard of ss concurrently (over at most

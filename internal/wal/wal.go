@@ -40,6 +40,18 @@
 // layout; a manifest whose shard count differs from the opening table's
 // takes the same merge-and-rewrite path, re-routing every record to its
 // new owner by ID residue.
+//
+// # Durability
+//
+// Appends are buffered; WHEN they are fsynced is the DurabilityLevel:
+// none (checkpoint/Sync/Close only), grouped (a GroupCommitter absorbs
+// appends from all shards into a pending window, fsyncs each dirty
+// shard log once per window and resolves the window's CommitWait
+// futures — the durability acknowledgement), or strict (the owning
+// shard's log is fsynced before the append acknowledges). A crash
+// under grouped mode loses at most the unacknowledged window; the
+// crash-injection tests and the what-you-can-lose table live in
+// docs/DURABILITY.md.
 package wal
 
 import (
@@ -94,7 +106,10 @@ func Open(path string) (*Log, error) {
 	return &Log{f: f, w: bufio.NewWriter(f)}, nil
 }
 
-// AppendInsert logs the insertion of tp.
+// AppendInsert logs the insertion of tp. The record is buffered, not
+// durable: it reaches the disk at the next Sync/Truncate/Close — or,
+// through a ShardedLog, when the group-commit daemon or a strict-mode
+// append syncs the shard (see DurabilityLevel).
 func (l *Log) AppendInsert(tp tuple.Tuple) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -104,7 +119,8 @@ func (l *Log) AppendInsert(tp tuple.Tuple) error {
 	return l.appendFramed(l.buf)
 }
 
-// AppendEvict logs the eviction of id (rot or consume).
+// AppendEvict logs the eviction of id (rot or consume). Buffered like
+// AppendInsert; the same durability contract applies.
 func (l *Log) AppendEvict(id tuple.ID) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -127,7 +143,9 @@ func (l *Log) appendFramed(payload []byte) error {
 	return nil
 }
 
-// Sync flushes buffered records and fsyncs the file.
+// Sync flushes buffered records and fsyncs the file. Safe to call
+// concurrently with appends (the log serialises internally): records
+// appended before Sync is entered are covered, later ones may be.
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
