@@ -14,6 +14,12 @@
 //	quit
 //
 // With -dir the instance is persistent: state survives restarts.
+//
+// With -addr pointing at a fungusd server, the `query` subcommand runs
+// one statement remotely over the streaming v2 API and prints rows as
+// they arrive:
+//
+//	fungusctl -addr http://localhost:8044 query "SELECT * FROM t WHERE x > ?" 42
 package main
 
 import (
@@ -32,6 +38,7 @@ import (
 	"fungusdb/internal/tuple"
 	"fungusdb/internal/wal"
 	"fungusdb/internal/workload"
+	"fungusdb/pkg/client"
 )
 
 var defaultShards = flag.Int("shards", 1, "default shard count for created tables (create ... shards=N overrides)")
@@ -39,11 +46,20 @@ var defaultShards = flag.Int("shards", 1, "default shard count for created table
 func main() {
 	dir := flag.String("dir", "", "data directory (empty = in-memory)")
 	seed := flag.Int64("seed", 1, "deterministic seed")
+	addr := flag.String("addr", "", "fungusd base URL for remote subcommands (e.g. http://localhost:8044)")
 	recoveryPar := flag.Int("recovery-parallelism", 0, "goroutines replaying per-shard WAL files at reopen (0 = worker pool size)")
 	durability := flag.String("durability", "none", "default WAL sync level for persistent tables: none|grouped|strict (create ... durability=L overrides)")
 	groupInterval := flag.Duration("group-commit-interval", 0, "grouped-durability flush tick (0 = 2ms default)")
 	groupSize := flag.Int("group-commit-size", 0, "records per group-commit window before an early flush (0 = 512 default)")
 	flag.Parse()
+
+	if flag.NArg() > 0 && flag.Arg(0) == "query" {
+		if err := remoteQuery(*addr, flag.Args()[1:]); err != nil {
+			fmt.Fprintln(os.Stderr, "fungusctl:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	level, err := wal.ParseDurability(*durability)
 	if err != nil {
@@ -62,6 +78,66 @@ func main() {
 
 	sh := &shell{db: db, persist: *dir != "", out: os.Stdout}
 	sh.repl(os.Stdin)
+}
+
+// remoteQuery streams one statement from a fungusd server: prepare the
+// SQL, bind any trailing arguments as positional parameters, print
+// rows as the NDJSON stream delivers them.
+func remoteQuery(addr string, args []string) error {
+	if addr == "" {
+		return fmt.Errorf("query subcommand needs -addr <fungusd URL>")
+	}
+	if len(args) < 1 {
+		return fmt.Errorf("usage: fungusctl -addr URL query <sql> [param ...]")
+	}
+	sql := args[0]
+	params := make([]any, 0, len(args)-1)
+	for _, raw := range args[1:] {
+		params = append(params, parseParam(raw))
+	}
+	c := client.New(addr, nil)
+	stmt, err := c.Prepare(sql)
+	if err != nil {
+		return err
+	}
+	rows, err := stmt.Query(params...)
+	if err != nil {
+		return err
+	}
+	defer rows.Close()
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintln(w, strings.Join(rows.Cols(), "\t"))
+	for rows.Next() {
+		cells := rows.Row()
+		for i, v := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "\t")
+			}
+			fmt.Fprintf(w, "%v", v)
+		}
+		fmt.Fprintln(w)
+	}
+	if err := rows.Err(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "(%d rows, %d scanned)\n", rows.Count(), rows.Scanned())
+	return nil
+}
+
+// parseParam types a CLI parameter: int, then float, then bool, else
+// string.
+func parseParam(raw string) any {
+	if n, err := strconv.ParseInt(raw, 10, 64); err == nil {
+		return n
+	}
+	if f, err := strconv.ParseFloat(raw, 64); err == nil {
+		return f
+	}
+	if raw == "true" || raw == "false" {
+		return raw == "true"
+	}
+	return raw
 }
 
 type shell struct {

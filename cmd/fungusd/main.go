@@ -31,6 +31,7 @@ func main() {
 	durability := flag.String("durability", "none", "default WAL sync level for persistent tables: none|grouped|strict (table specs override)")
 	groupInterval := flag.Duration("group-commit-interval", 0, "grouped-durability flush tick (0 = 2ms default)")
 	groupSize := flag.Int("group-commit-size", 0, "records per group-commit window before an early flush (0 = 512 default)")
+	maxRequestBytes := flag.Int64("max-request-bytes", 0, "request body cap in bytes (0 = 64 MiB default, negative = unlimited)")
 	flag.Parse()
 
 	level, err := wal.ParseDurability(*durability)
@@ -64,7 +65,7 @@ func main() {
 		}
 	}()
 
-	srv := &http.Server{Addr: *addr, Handler: server.New(db)}
+	srv := &http.Server{Addr: *addr, Handler: server.NewWithConfig(db, server.Config{MaxRequestBytes: *maxRequestBytes})}
 	go func() {
 		<-ctx.Done()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

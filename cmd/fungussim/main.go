@@ -14,6 +14,11 @@
 // initial load decays to extinction. With -dir the simulated table is
 // persistent, so the run doubles as a WAL durability/throughput probe:
 // -durability selects the sync level (see docs/DURABILITY.md).
+//
+// With -addr the whole simulation drives a remote fungusd through
+// pkg/client instead of an embedded engine: table DDL, batched ingest
+// and decay ticks go over the v1 API, and the periodic health probes
+// are prepared v2 statements whose results stream back as NDJSON.
 package main
 
 import (
@@ -23,8 +28,10 @@ import (
 
 	"fungusdb/internal/core"
 	"fungusdb/internal/fungus"
+	"fungusdb/internal/tuple"
 	"fungusdb/internal/wal"
 	"fungusdb/internal/workload"
+	"fungusdb/pkg/client"
 )
 
 func main() {
@@ -40,7 +47,19 @@ func main() {
 	shards := flag.Int("shards", 1, "extent shards (parallel decay/scan)")
 	dir := flag.String("dir", "", "data directory (empty = in-memory simulation)")
 	durability := flag.String("durability", "none", "WAL sync level with -dir: none|grouped|strict")
+	addr := flag.String("addr", "", "drive a remote fungusd at this base URL instead of an embedded engine")
 	flag.Parse()
+
+	if *addr != "" {
+		if err := runRemote(remoteConfig{
+			addr: *addr, fungus: *fungusName, tuples: *tuples, ticks: *ticks,
+			ingest: *ingestRate, report: *reportEvery, seeds: *seeds, rate: *rate,
+			seed: *seed, shards: *shards, durability: *durability,
+		}); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	var f fungus.Fungus
 	switch *fungusName {
@@ -130,4 +149,155 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "fungussim:", err)
 	os.Exit(1)
+}
+
+type remoteConfig struct {
+	addr, fungus, durability string
+	tuples, ticks, ingest    int
+	report, seeds, shards    int
+	rate                     float64
+	seed                     int64
+}
+
+// remoteFungusSpec maps the CLI fungus selection onto the declarative
+// spec the server's catalog understands.
+func remoteFungusSpec(cfg remoteConfig) (*client.FungusSpec, error) {
+	switch cfg.fungus {
+	case "egi":
+		return &client.FungusSpec{Kind: "egi", Seeds: cfg.seeds, Rate: cfg.rate, AgeBias: 2}, nil
+	case "ttl":
+		return &client.FungusSpec{Kind: "ttl", Lifetime: uint64(1 / cfg.rate)}, nil
+	case "linear":
+		return &client.FungusSpec{Kind: "linear", Rate: cfg.rate}, nil
+	case "exponential":
+		return &client.FungusSpec{Kind: "exponential", Factor: 1 - cfg.rate}, nil
+	case "none":
+		return nil, nil
+	}
+	return nil, fmt.Errorf("unknown fungus %q for remote mode", cfg.fungus)
+}
+
+// rowsToJSON converts generated workload rows to the positional JSON
+// values the bulk-insert API wants.
+func rowsToJSON(rows [][]tuple.Value) [][]any {
+	out := make([][]any, len(rows))
+	for i, row := range rows {
+		vals := make([]any, len(row))
+		for j, v := range row {
+			switch v.Kind() {
+			case tuple.KindInt:
+				vals[j] = v.AsInt()
+			case tuple.KindFloat:
+				vals[j] = v.AsFloat()
+			case tuple.KindBool:
+				vals[j] = v.AsBool()
+			default:
+				vals[j] = v.AsString()
+			}
+		}
+		out[i] = vals
+	}
+	return out
+}
+
+// runRemote replays the simulation loop against a fungusd server. The
+// per-report health probe is a prepared v2 statement executed with a
+// fresh parameter binding each round, so the run exercises the whole
+// prepare -> plan -> execute -> stream pipeline end to end.
+func runRemote(cfg remoteConfig) error {
+	c := client.New(cfg.addr, nil)
+	if _, err := c.Health(); err != nil {
+		return err
+	}
+	fspec, err := remoteFungusSpec(cfg)
+	if err != nil {
+		return err
+	}
+	const table = "iot"
+	if err := c.CreateTable(client.TableSpec{
+		Name:       table,
+		Schema:     "device STRING, temp FLOAT, battery FLOAT, alarm BOOL",
+		Fungus:     fspec,
+		Shards:     cfg.shards,
+		Durability: cfg.durability,
+	}); err != nil {
+		return err
+	}
+	gen := workload.NewIoT(100, cfg.seed)
+
+	const batch = 1024
+	insert := func(n int) error {
+		for done := 0; done < n; {
+			b := batch
+			if rem := n - done; rem < b {
+				b = rem
+			}
+			rows := make([][]tuple.Value, b)
+			for i := range rows {
+				rows[i] = gen.Next()
+			}
+			if _, err := c.Insert(table, rowsToJSON(rows)); err != nil {
+				return err
+			}
+			done += b
+		}
+		return nil
+	}
+	if err := insert(cfg.tuples); err != nil {
+		return err
+	}
+	fmt.Printf("loaded %d tuples into %s at %s; simulating %d ticks remotely\n\n",
+		cfg.tuples, table, cfg.addr, cfg.ticks)
+
+	// One prepared probe, many parameterised executions.
+	probe, err := c.Prepare("SELECT COUNT(*) AS hot FROM iot WHERE temp > ?")
+	if err != nil {
+		return err
+	}
+	threshold := 30.0
+	for tick := 1; tick <= cfg.ticks; tick++ {
+		if cfg.ingest > 0 {
+			if err := insert(cfg.ingest); err != nil {
+				return err
+			}
+		}
+		if _, err := c.Tick(1); err != nil {
+			return err
+		}
+		if tick%cfg.report == 0 {
+			st, err := c.Stats(table)
+			if err != nil {
+				return err
+			}
+			rows, err := probe.Query(threshold)
+			if err != nil {
+				return err
+			}
+			hot := 0.0
+			for rows.Next() {
+				if v, ok := rows.Row()[0].(float64); ok {
+					hot = v
+				}
+			}
+			rerr := rows.Err()
+			rows.Close()
+			if rerr != nil {
+				return rerr
+			}
+			fmt.Printf("t%-6d live %6d mean %.3f rotted %6d hot(>%.0f) %6.0f\n",
+				tick, st.Live, st.MeanFresh, st.Rotted, threshold, hot)
+			if st.Live == 0 && cfg.ingest == 0 {
+				fmt.Println("\nextent completely disappeared — the first natural law is done")
+				break
+			}
+		}
+	}
+
+	st, err := c.Stats(table)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nfinal: live %d, inserted %d, rotted %d, queries %d (sync mode %s)\n",
+		st.Live, st.Inserted, st.Rotted, st.Queries, st.WALSyncMode)
+	return nil
 }

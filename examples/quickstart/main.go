@@ -48,6 +48,25 @@ func main() {
 	}
 	fmt.Printf("loaded:  %d tuples\n", readings.Len())
 
+	// Prepared statements compile once and stream: the `?` binds at
+	// Execute, and rows arrive shard-parallel in insertion order
+	// without materialising the answer set.
+	warm, err := readings.Prepare("SELECT device, temp FROM readings WHERE temp > ? LIMIT 3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, err := warm.Execute(tuple.Float(28))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for rows.Next() {
+		v := rows.Values()
+		fmt.Printf("streamed: %s %s\n", v[0].AsString(), v[1])
+	}
+	if err := rows.Close(); err != nil {
+		log.Fatal(err)
+	}
+
 	// Law 2: a consume query removes what it answers and cooks it into
 	// the "hot" knowledge container.
 	res, err := readings.Query("temp > 30", query.Consume, core.QueryOpts{Distill: "hot"})

@@ -1,0 +1,525 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"fungusdb/internal/query"
+	"fungusdb/internal/tuple"
+)
+
+// This file is the one execution path of the engine's read side. Every
+// query API — Table.Query/QueryPred, Table.SQL, the HTTP /v1/query and
+// container ask handlers, and the streaming /v2/query — compiles (or
+// fetches from the per-table plan cache) a query.Plan and hands it to
+// execPlan, which routes it:
+//
+//	digest    ask plans: answer from the container digest, no scan
+//	consume   all-shard atomic answer-and-discard cut, then finish
+//	aggregate per-shard partial aggregators merged in shard order
+//	stream    per-shard parallel scan k-way merged by ID, pull-based
+//	material  barrier peek (ORDER BY / distill / touch-on-read):
+//	          collect, then finish
+//
+// New capabilities land here once instead of once per front door.
+
+// ErrNoContainer reports an ask against a container that does not
+// exist (or has rotted away).
+var ErrNoContainer = errors.New("core: no such container")
+
+// streamBatchSize is the per-shard tuple batch handed over one channel
+// hop on the streaming path. Combined with the 1-batch channel buffer
+// it bounds in-flight memory at roughly 2*shards*streamBatchSize rows.
+const streamBatchSize = 256
+
+// PreparedQuery is a statement compiled against one table: parse and
+// validation already happened, so Execute only binds parameters and
+// runs. A PreparedQuery is immutable and safe for concurrent use;
+// reuse it for repeated queries to skip the compile entirely.
+type PreparedQuery struct {
+	t    *Table
+	plan *query.Plan
+}
+
+// Prepare compiles a SELECT statement (see query.ParseSelect for the
+// grammar; `?` placeholders bind positionally at Execute) against this
+// table. Compilation results are cached per table keyed by source
+// text, so preparing the same statement twice is a map hit.
+func (t *Table) Prepare(src string) (*PreparedQuery, error) {
+	if v := t.plans.get("s\x00" + src); v != nil {
+		return &PreparedQuery{t: t, plan: v.(*query.Plan)}, nil
+	}
+	stmt, err := query.ParseStatement(src)
+	if err != nil {
+		return nil, err
+	}
+	return t.compileStatement(stmt)
+}
+
+// PrepareStatement compiles an already-parsed statement, for callers
+// (the HTTP handlers) that parsed the source themselves to route it to
+// a table — a plan-cache miss then compiles without re-parsing.
+func (t *Table) PrepareStatement(stmt *query.Statement) (*PreparedQuery, error) {
+	if v := t.plans.get("s\x00" + stmt.Source()); v != nil {
+		return &PreparedQuery{t: t, plan: v.(*query.Plan)}, nil
+	}
+	return t.compileStatement(stmt)
+}
+
+// compileStatement is the cache-miss half of Prepare/PrepareStatement:
+// route check, compile, cache.
+func (t *Table) compileStatement(stmt *query.Statement) (*PreparedQuery, error) {
+	if stmt.From() != t.name {
+		return nil, fmt.Errorf("core: statement reads %q, table is %q", stmt.From(), t.name)
+	}
+	plan, err := stmt.Plan(t.cfg.Schema)
+	if err != nil {
+		return nil, err
+	}
+	t.plans.put("s\x00"+stmt.Source(), plan)
+	return &PreparedQuery{t: t, plan: plan}, nil
+}
+
+// PrepareAsk compiles a knowledge-container question (see
+// query.ParseAskStatement for the forms) against this table's schema.
+// Column references and literal operands are validated and coerced at
+// compile time; the container itself resolves at Execute, so one
+// prepared ask can outlive container churn.
+func (t *Table) PrepareAsk(container, question string) (*PreparedQuery, error) {
+	key := "a\x00" + container + "\x00" + question
+	if v := t.plans.get(key); v != nil {
+		return &PreparedQuery{t: t, plan: v.(*query.Plan)}, nil
+	}
+	stmt, err := query.ParseAskStatement(container, question)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := stmt.Plan(t.cfg.Schema)
+	if err != nil {
+		return nil, err
+	}
+	t.plans.put(key, plan)
+	return &PreparedQuery{t: t, plan: plan}, nil
+}
+
+// cachedPredicate returns the compiled predicate for a WHERE source,
+// consulting the table's LRU first.
+func (t *Table) cachedPredicate(where string) (*query.Predicate, error) {
+	key := "w\x00" + where
+	if v := t.plans.get(key); v != nil {
+		return v.(*query.Predicate), nil
+	}
+	pred, err := query.Compile(where, t.cfg.Schema)
+	if err != nil {
+		return nil, err
+	}
+	t.plans.put(key, pred)
+	return pred, nil
+}
+
+// PlanCacheStats reports the table's compiled-statement cache counters.
+func (t *Table) PlanCacheStats() (hits, misses uint64, size int) {
+	return t.plans.stats()
+}
+
+// Cols returns the prepared statement's output column names (nil for
+// raw tuple scans and before ask fan-out is known).
+func (pq *PreparedQuery) Cols() []string { return pq.plan.Cols() }
+
+// NumParams returns how many `?` placeholders Execute must bind.
+func (pq *PreparedQuery) NumParams() int { return pq.plan.NumParams() }
+
+// Mode returns the statement's read semantics.
+func (pq *PreparedQuery) Mode() query.Mode { return pq.plan.Mode() }
+
+// Execute binds params and runs the plan, streaming the answer as
+// query.Rows. Plain peeks stream shard-parallel without materialising
+// the answer set; consume, ORDER BY, aggregation and ask answers have
+// a natural barrier and are memory-backed. Always Close the rows (or
+// drain them): on the streaming path producer goroutines hold shard
+// read locks until the stream ends, so abandoning a Rows mid-way — or
+// mutating the table from the same goroutine before draining — would
+// stall writers on those shards.
+func (pq *PreparedQuery) Execute(params ...tuple.Value) (*query.Rows, error) {
+	return pq.t.execPlan(pq.plan, params, QueryOpts{})
+}
+
+// ExecuteOpts is Execute with per-call engine options (distillation,
+// programmatic answer-set cap).
+func (pq *PreparedQuery) ExecuteOpts(opt QueryOpts, params ...tuple.Value) (*query.Rows, error) {
+	return pq.t.execPlan(pq.plan, params, opt)
+}
+
+// execPlan is the single routing point described in the file comment.
+func (t *Table) execPlan(plan *query.Plan, params []tuple.Value, opt QueryOpts) (*query.Rows, error) {
+	if t.closed.Load() {
+		return nil, t.errClosed()
+	}
+	if err := plan.BindCheck(params); err != nil {
+		return nil, err
+	}
+	if plan.IsAsk() {
+		return t.execAsk(plan, params)
+	}
+	// Fold the parameters into the plan as literals once, so the
+	// per-tuple hot path below never resolves a placeholder.
+	if plan.NumParams() > 0 {
+		plan = plan.Bind(params)
+		params = nil
+	}
+	switch {
+	case plan.Consume():
+		return t.execConsume(plan, params, opt)
+	case plan.Aggregated() && opt.Distill == "" && !t.cfg.TouchOnRead && opt.Limit == 0:
+		// The distributed aggregate path sees every match exactly once,
+		// so it only applies when nothing needs the materialised tuple
+		// set: no distillation, no touch-on-read, and no programmatic
+		// answer-set cap (QueryOpts.Limit bounds the tuples aggregated,
+		// unlike the SQL LIMIT, which caps output rows and is handled
+		// by the aggregator itself).
+		return t.execAggregate(plan, params)
+	case !plan.Aggregated() && !plan.Ordered() && opt.Distill == "" && !t.cfg.TouchOnRead:
+		return t.execStream(plan, params, opt)
+	default:
+		return t.execMaterial(plan, params, opt)
+	}
+}
+
+// execAsk answers a knowledge-container question. Asking refreshes the
+// container — consulted knowledge stays alive.
+func (t *Table) execAsk(plan *query.Plan, params []tuple.Value) (*query.Rows, error) {
+	name := plan.Ask().Container
+	c := t.shelf.Get(name)
+	if c == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNoContainer, name)
+	}
+	c.Touch()
+	return plan.AskRows(c.Digest, params)
+}
+
+// matchShard collects up to limit clones of the tuples in shard i
+// matching the plan. The caller holds shard i's lock (read suffices).
+func (t *Table) matchShard(i int, plan *query.Plan, params []tuple.Value, limit int, scanned *int) ([]tuple.Tuple, error) {
+	var out []tuple.Tuple
+	var matchErr error
+	t.store.ScanShard(i, func(tp *tuple.Tuple) bool {
+		*scanned++
+		ok, err := plan.Match(tp, params)
+		if err != nil {
+			matchErr = err
+			return false
+		}
+		if !ok {
+			return true
+		}
+		out = append(out, tp.Clone())
+		return limit == 0 || len(out) < limit
+	})
+	return out, matchErr
+}
+
+// execStream is the shard-parallel streaming peek: one producer per
+// shard scans under that shard's read lock and hands matching tuples
+// over a small bounded channel; the returned Rows k-way merges the
+// batches back into global insertion order as the caller pulls. The
+// fan-out deliberately runs one goroutine per shard rather than the
+// worker-bounded pool — the merge needs every shard's head batch
+// before it can emit anything, so capping concurrency below the shard
+// count would deadlock; memory stays bounded by the channel buffers,
+// and pacing comes from the consumer.
+func (t *Table) execStream(plan *query.Plan, params []tuple.Value, opt QueryOpts) (*query.Rows, error) {
+	n := t.store.NumShards()
+	// The programmatic cap and the SQL LIMIT both bound a plain
+	// unordered scan's output; the effective cap is the tighter one.
+	limit := opt.Limit
+	if sl := plan.Limit(); sl > 0 && (limit == 0 || sl < limit) {
+		limit = sl
+	}
+	chans := make([]chan []tuple.Tuple, n)
+	recv := make([]<-chan []tuple.Tuple, n)
+	for i := range chans {
+		chans[i] = make(chan []tuple.Tuple, 1)
+		recv[i] = chans[i]
+	}
+	done := make(chan struct{})
+	var scanned atomic.Int64
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- fanOut(n, n, func(i int) error {
+			defer close(chans[i])
+			t.shardMu[i].RLock()
+			defer t.shardMu[i].RUnlock()
+			batch := make([]tuple.Tuple, 0, streamBatchSize)
+			matched := 0
+			aborted := false
+			var innerErr error
+			send := func(b []tuple.Tuple) bool {
+				select {
+				case chans[i] <- b:
+					return true
+				case <-done:
+					aborted = true
+					return false
+				}
+			}
+			t.store.ScanShard(i, func(tp *tuple.Tuple) bool {
+				scanned.Add(1)
+				ok, err := plan.Match(tp, params)
+				if err != nil {
+					innerErr = err
+					return false
+				}
+				if !ok {
+					return true
+				}
+				batch = append(batch, tp.Clone())
+				matched++
+				if len(batch) == streamBatchSize {
+					if !send(batch) {
+						return false
+					}
+					batch = make([]tuple.Tuple, 0, streamBatchSize)
+				}
+				// Each shard contributes at most limit rows to a
+				// limit-capped merge, so stop scanning early.
+				return limit == 0 || matched < limit
+			})
+			if innerErr != nil {
+				return innerErr
+			}
+			if !aborted && len(batch) > 0 {
+				send(batch)
+			}
+			return nil
+		})
+	}()
+
+	var project func(*tuple.Tuple) ([]tuple.Value, error)
+	if !plan.Raw() {
+		project = func(tp *tuple.Tuple) ([]tuple.Value, error) { return plan.Project(tp, params) }
+	}
+	return query.NewStreamRows(query.Stream{
+		Cols:    plan.Cols(),
+		Mode:    plan.Mode(),
+		Batches: recv,
+		Done:    done,
+		Wait: func() (int, error) {
+			err := <-errCh
+			// Count the query only once the scan ends cleanly, matching
+			// the materialised paths: failed queries are not queries.
+			if err == nil {
+				t.mu.Lock()
+				t.ctrs.Queries++
+				t.mu.Unlock()
+			}
+			return int(scanned.Load()), err
+		},
+		Project: project,
+		Limit:   limit,
+	}), nil
+}
+
+// execAggregate evaluates an aggregate/GROUP BY peek without
+// materialising matches: one partial aggregator per shard, fed during
+// the parallel scan, merged in ascending shard order (deterministic
+// for a fixed shard count).
+func (t *Table) execAggregate(plan *query.Plan, params []tuple.Value) (*query.Rows, error) {
+	n := t.store.NumShards()
+	base := plan.NewAggregator(params)
+	aggs := make([]*query.Aggregator, n)
+	scanned := make([]int, n)
+	err := fanOut(n, t.workers, func(i int) error {
+		agg := base.Fork()
+		t.shardMu[i].RLock()
+		defer t.shardMu[i].RUnlock()
+		var innerErr error
+		t.store.ScanShard(i, func(tp *tuple.Tuple) bool {
+			scanned[i]++
+			ok, err := plan.Match(tp, params)
+			if err != nil {
+				innerErr = err
+				return false
+			}
+			if ok {
+				if err := agg.Feed(tp); err != nil {
+					innerErr = err
+					return false
+				}
+			}
+			return true
+		})
+		aggs[i] = agg
+		return innerErr
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < n; i++ {
+		if err := aggs[0].Merge(aggs[i]); err != nil {
+			return nil, err
+		}
+	}
+	t.mu.Lock()
+	t.ctrs.Queries++
+	t.mu.Unlock()
+	g, err := aggs[0].Grid()
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, s := range scanned {
+		total += s
+	}
+	return query.NewGridRows(g, query.Peek, total), nil
+}
+
+// execMaterial is the barrier peek: collect the matching set like the
+// classical path (per-shard parallel scan merged by ID), apply
+// touch-on-read and distillation over it, then run the finishing
+// stages (projection, ORDER BY, LIMIT — or local aggregation when the
+// distributed path was disqualified).
+func (t *Table) execMaterial(plan *query.Plan, params []tuple.Value, opt QueryOpts) (*query.Rows, error) {
+	n := t.store.NumShards()
+	parts := make([][]tuple.Tuple, n)
+	scanned := make([]int, n)
+	err := fanOut(n, t.workers, func(i int) error {
+		t.shardMu[i].RLock()
+		defer t.shardMu[i].RUnlock()
+		var err error
+		parts[i], err = t.matchShard(i, plan, params, opt.Limit, &scanned[i])
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	tuples := mergeByID(parts, opt.Limit)
+	totalScanned := 0
+	for _, s := range scanned {
+		totalScanned += s
+	}
+
+	if t.cfg.TouchOnRead && len(tuples) > 0 {
+		t.touchAnswered(tuples)
+	}
+
+	t.mu.Lock()
+	t.ctrs.Queries++
+	t.mu.Unlock()
+
+	if opt.Distill != "" && len(tuples) > 0 {
+		t.mu.Lock()
+		err := t.shelf.Absorb(opt.Distill, t.clk.Now(), t.cfg.ContainerHalfLife, tuples)
+		t.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return t.finishRows(plan, params, tuples, totalScanned)
+}
+
+// execConsume is the second natural law behind the prepared API: one
+// atomic answer-and-discard cut across all shards, then the finishing
+// stages over the (already removed) answer set.
+func (t *Table) execConsume(plan *query.Plan, params []tuple.Value, opt QueryOpts) (*query.Rows, error) {
+	tuples, scanned, due, err := t.consumeCut(plan, params, opt)
+	if err != nil {
+		return nil, err
+	}
+	if due {
+		// Checkpoint re-acquires every shard lock, so it runs after
+		// consumeCut released them.
+		if err := t.Checkpoint(); err != nil {
+			return nil, err
+		}
+	}
+	return t.finishRows(plan, params, tuples, scanned)
+}
+
+// finishRows turns a materialised matching set into Rows: raw plans
+// yield the tuples themselves, statement plans run the finishing
+// stages into a grid first.
+func (t *Table) finishRows(plan *query.Plan, params []tuple.Value, tuples []tuple.Tuple, scanned int) (*query.Rows, error) {
+	if plan.Raw() {
+		return query.NewTupleRows(nil, plan.Mode(), tuples, nil, scanned), nil
+	}
+	g, err := plan.Finish(tuples, params)
+	if err != nil {
+		return nil, err
+	}
+	return query.NewGridRows(g, plan.Mode(), scanned), nil
+}
+
+// consumeCut is the all-shards critical section of a consume query:
+// one atomic answer-and-discard cut across the whole extent. It
+// reports whether a checkpoint fell due.
+func (t *Table) consumeCut(plan *query.Plan, params []tuple.Value, opt QueryOpts) (tuples []tuple.Tuple, scannedTotal int, due bool, err error) {
+	n := t.store.NumShards()
+	t.lockAll()
+	defer t.unlockAll()
+	if t.closed.Load() {
+		return nil, 0, false, t.errClosed()
+	}
+
+	parts := make([][]tuple.Tuple, n)
+	scanned := make([]int, n)
+	err = fanOut(n, t.workers, func(i int) error {
+		var err error
+		parts[i], err = t.matchShard(i, plan, params, opt.Limit, &scanned[i])
+		return err
+	})
+	if err != nil {
+		return nil, 0, false, err
+	}
+	tuples = mergeByID(parts, opt.Limit)
+	for _, s := range scanned {
+		scannedTotal += s
+	}
+
+	t.mu.Lock()
+	t.ctrs.Queries++
+	t.mu.Unlock()
+
+	if opt.Distill != "" && len(tuples) > 0 {
+		t.mu.Lock()
+		err := t.shelf.Absorb(opt.Distill, t.clk.Now(), t.cfg.ContainerHalfLife, tuples)
+		if err == nil {
+			t.ctrs.DistilledQuery += uint64(len(tuples))
+		}
+		t.mu.Unlock()
+		if err != nil {
+			return nil, 0, false, err
+		}
+	}
+
+	evictLogged := make([]int, n)
+	for i := range tuples {
+		id := tuples[i].ID
+		s := t.store.ShardOf(id)
+		if err := t.store.Shard(s).Evict(id); err != nil {
+			return nil, 0, false, fmt.Errorf("core: consume evict: %w", err)
+		}
+		if egi, ok := t.fngs[s].(interface{ Forget(tuple.ID) }); ok {
+			egi.Forget(id)
+		}
+		if t.log != nil {
+			if err := t.log.AppendEvict(s, id); err != nil {
+				return nil, 0, false, err
+			}
+			evictLogged[s]++
+		}
+	}
+	for s, logged := range evictLogged {
+		if logged == 0 {
+			continue
+		}
+		if _, err := t.noteAppendLocked(s, logged); err != nil {
+			return nil, 0, false, err
+		}
+	}
+	t.mu.Lock()
+	t.ctrs.Consumed += uint64(len(tuples))
+	due = t.noteMutationLocked(1)
+	t.mu.Unlock()
+	return tuples, scannedTotal, due, nil
+}

@@ -103,6 +103,8 @@ type Table struct {
 	shelf   *container.Shelf
 	workers int
 
+	plans *planCache // compiled statements/predicates, keyed by source
+
 	mu        sync.Mutex // metadata: counters, mutations; orders shelf absorbs
 	ctrs      metrics.Counters
 	mutations int
@@ -155,6 +157,7 @@ func newTable(name string, cfg TableConfig, clk clock.Clock, seed int64, dir str
 		rotBufs:    make([][]tuple.ID, n),
 		workers:    workers,
 		durability: durability,
+		plans:      newPlanCache(planCacheCap),
 	}
 	// Shard 0 draws from the table stream (shared with the shelf, via a
 	// locked source); shard i > 0 gets its own stream derived from
@@ -513,9 +516,10 @@ func (t *Table) InsertShardBatch(i int, rows [][]tuple.Value) ([]tuple.Tuple, er
 }
 
 // Compile prepares a predicate against this table's schema. Compiled
-// predicates can be reused across queries.
+// predicates can be reused across queries; results are cached in the
+// table's plan LRU, so recompiling the same source is a map hit.
 func (t *Table) Compile(where string) (*query.Predicate, error) {
-	return query.Compile(where, t.cfg.Schema)
+	return t.cachedPredicate(where)
 }
 
 // QueryOpts tunes Query.
@@ -532,52 +536,44 @@ type QueryOpts struct {
 // Query executes Q(T,R,P) with the given mode. In Consume mode every
 // answered tuple is discarded from the extent immediately, implementing
 // the second natural law; in Peek mode the extent is unchanged (and,
-// with TouchOnRead, refreshed).
+// with TouchOnRead, refreshed). The WHERE compilation is cached in the
+// table's plan LRU, so repeated calls with the same source skip the
+// parse.
 func (t *Table) Query(where string, mode query.Mode, opts ...QueryOpts) (*query.Result, error) {
-	pred, err := query.Compile(where, t.cfg.Schema)
+	pred, err := t.cachedPredicate(where)
 	if err != nil {
 		return nil, err
 	}
 	return t.QueryPred(pred, mode, opts...)
 }
 
-// QueryPred is Query with a pre-compiled predicate. Peek queries scan
-// the shards in parallel and merge the partial answers back into
-// global insertion order; Consume queries hold every shard lock so the
-// answer-and-discard step is one atomic cut across the whole extent.
+// QueryPred is Query with a pre-compiled predicate. It is a thin shim
+// over the prepared plan/execute path: the predicate wraps into a raw
+// scan plan, executes through the same router as SQL statements, and
+// the streamed rows drain into the classical materialised Result.
+// Peek queries scan the shards in parallel and merge the partial
+// answers back into global insertion order; Consume queries hold every
+// shard lock so the answer-and-discard step is one atomic cut across
+// the whole extent.
 func (t *Table) QueryPred(pred *query.Predicate, mode query.Mode, opts ...QueryOpts) (*query.Result, error) {
 	var opt QueryOpts
 	if len(opts) > 0 {
 		opt = opts[0]
 	}
-	if t.closed.Load() {
-		return nil, t.errClosed()
+	rows, err := t.execPlan(query.PlanPredicate(pred, mode), nil, opt)
+	if err != nil {
+		return nil, err
 	}
-	if mode == query.Consume {
-		return t.consumeQuery(pred, opt)
+	defer rows.Close()
+	res := &query.Result{Schema: t.cfg.Schema, Mode: mode}
+	for rows.Next() {
+		res.Tuples = append(res.Tuples, *rows.Tuple())
 	}
-	return t.peekQuery(pred, opt)
-}
-
-// scanShardMatches collects up to limit clones of the tuples in shard i
-// matching pred. The caller holds shard i's lock (read suffices).
-func (t *Table) scanShardMatches(i int, pred *query.Predicate, limit int, scanned *int) ([]tuple.Tuple, error) {
-	var out []tuple.Tuple
-	var matchErr error
-	t.store.ScanShard(i, func(tp *tuple.Tuple) bool {
-		*scanned++
-		ok, err := pred.Match(tp)
-		if err != nil {
-			matchErr = err
-			return false
-		}
-		if !ok {
-			return true
-		}
-		out = append(out, tp.Clone())
-		return limit == 0 || len(out) < limit
-	})
-	return out, matchErr
+	if err := rows.Err(); err != nil {
+		return nil, err
+	}
+	res.Scanned = rows.Scanned()
+	return res, nil
 }
 
 // mergeByID k-way merges per-shard answer sets (each ID-ascending) into
@@ -611,45 +607,6 @@ func mergeByID(parts [][]tuple.Tuple, limit int) []tuple.Tuple {
 	return out
 }
 
-func (t *Table) peekQuery(pred *query.Predicate, opt QueryOpts) (*query.Result, error) {
-	n := t.store.NumShards()
-	parts := make([][]tuple.Tuple, n)
-	scanned := make([]int, n)
-	err := fanOut(n, t.workers, func(i int) error {
-		t.shardMu[i].RLock()
-		defer t.shardMu[i].RUnlock()
-		var err error
-		parts[i], err = t.scanShardMatches(i, pred, opt.Limit, &scanned[i])
-		return err
-	})
-	if err != nil {
-		return nil, err
-	}
-	res := &query.Result{Schema: t.cfg.Schema, Mode: query.Peek}
-	for _, s := range scanned {
-		res.Scanned += s
-	}
-	res.Tuples = mergeByID(parts, opt.Limit)
-
-	if t.cfg.TouchOnRead && len(res.Tuples) > 0 {
-		t.touchAnswered(res.Tuples)
-	}
-
-	t.mu.Lock()
-	t.ctrs.Queries++
-	t.mu.Unlock()
-
-	if opt.Distill != "" && len(res.Tuples) > 0 {
-		t.mu.Lock()
-		err := t.shelf.Absorb(opt.Distill, t.clk.Now(), t.cfg.ContainerHalfLife, res.Tuples)
-		t.mu.Unlock()
-		if err != nil {
-			return nil, err
-		}
-	}
-	return res, nil
-}
-
 // touchAnswered refreshes the answered tuples, shard by shard, through
 // each shard's own fungus instance ("data being taken care of by its
 // owner"). Tuples consumed or rotted since the scan are skipped by the
@@ -679,96 +636,6 @@ func (t *Table) touchAnswered(answered []tuple.Tuple) {
 	})
 }
 
-func (t *Table) consumeQuery(pred *query.Predicate, opt QueryOpts) (*query.Result, error) {
-	res, due, err := t.consumeLocked(pred, opt)
-	if err != nil {
-		return nil, err
-	}
-	if due {
-		// Checkpoint re-acquires every shard lock, so it runs after
-		// consumeLocked released them.
-		if err := t.Checkpoint(); err != nil {
-			return nil, err
-		}
-	}
-	return res, nil
-}
-
-// consumeLocked is the all-shards critical section of a consume query:
-// one atomic answer-and-discard cut across the whole extent. It reports
-// whether a checkpoint fell due.
-func (t *Table) consumeLocked(pred *query.Predicate, opt QueryOpts) (*query.Result, bool, error) {
-	n := t.store.NumShards()
-	t.lockAll()
-	defer t.unlockAll()
-	if t.closed.Load() {
-		return nil, false, t.errClosed()
-	}
-
-	parts := make([][]tuple.Tuple, n)
-	scanned := make([]int, n)
-	err := fanOut(n, t.workers, func(i int) error {
-		var err error
-		parts[i], err = t.scanShardMatches(i, pred, opt.Limit, &scanned[i])
-		return err
-	})
-	if err != nil {
-		return nil, false, err
-	}
-	res := &query.Result{Schema: t.cfg.Schema, Mode: query.Consume}
-	for _, s := range scanned {
-		res.Scanned += s
-	}
-	res.Tuples = mergeByID(parts, opt.Limit)
-
-	t.mu.Lock()
-	t.ctrs.Queries++
-	t.mu.Unlock()
-
-	if opt.Distill != "" && len(res.Tuples) > 0 {
-		t.mu.Lock()
-		err := t.shelf.Absorb(opt.Distill, t.clk.Now(), t.cfg.ContainerHalfLife, res.Tuples)
-		if err == nil {
-			t.ctrs.DistilledQuery += uint64(len(res.Tuples))
-		}
-		t.mu.Unlock()
-		if err != nil {
-			return nil, false, err
-		}
-	}
-
-	evictLogged := make([]int, n)
-	for i := range res.Tuples {
-		id := res.Tuples[i].ID
-		s := t.store.ShardOf(id)
-		if err := t.store.Shard(s).Evict(id); err != nil {
-			return nil, false, fmt.Errorf("core: consume evict: %w", err)
-		}
-		if egi, ok := t.fngs[s].(*fungus.EGI); ok {
-			egi.Forget(id)
-		}
-		if t.log != nil {
-			if err := t.log.AppendEvict(s, id); err != nil {
-				return nil, false, err
-			}
-			evictLogged[s]++
-		}
-	}
-	for s, logged := range evictLogged {
-		if logged == 0 {
-			continue
-		}
-		if _, err := t.noteAppendLocked(s, logged); err != nil {
-			return nil, false, err
-		}
-	}
-	t.mu.Lock()
-	t.ctrs.Consumed += uint64(len(res.Tuples))
-	due := t.noteMutationLocked(1)
-	t.mu.Unlock()
-	return res, due, nil
-}
-
 // SQL parses and executes a SELECT statement against this table:
 //
 //	SELECT [CONSUME] <targets> FROM <this table>
@@ -783,15 +650,14 @@ func (t *Table) consumeLocked(pred *query.Predicate, opt QueryOpts) (*query.Resu
 // its matches into a partial query.Aggregator in parallel and the
 // partials merge in shard order, so grouped analytics never
 // materialise the matching tuples.
+//
+// SQL is a thin shim over the prepared path — it is exactly
+// Prepare(src) followed by ExecuteOpts(opt) with the streamed rows
+// drained into a Grid; callers that repeat a statement should Prepare
+// it once themselves (the plan cache softens, but does not remove, the
+// difference).
 func (t *Table) SQL(src string, opts ...QueryOpts) (*query.Grid, error) {
-	stmt, err := query.ParseSelect(src)
-	if err != nil {
-		return nil, err
-	}
-	if stmt.From != t.name {
-		return nil, fmt.Errorf("core: statement reads %q, table is %q", stmt.From, t.name)
-	}
-	pred, err := query.FromExpr(stmt.Where, t.cfg.Schema)
+	pq, err := t.Prepare(src)
 	if err != nil {
 		return nil, err
 	}
@@ -799,77 +665,19 @@ func (t *Table) SQL(src string, opts ...QueryOpts) (*query.Grid, error) {
 	if len(opts) > 0 {
 		opt = opts[0]
 	}
-	// The distributed aggregate path sees every match, so it only
-	// applies when nothing needs the materialised tuple set: no consume
-	// semantics, no distillation, no touch-on-read, and no programmatic
-	// answer-set cap (QueryOpts.Limit bounds the tuples aggregated,
-	// unlike the SQL LIMIT, which caps output rows and is handled by
-	// the aggregator itself).
-	if !stmt.Consume && opt.Distill == "" && !t.cfg.TouchOnRead && opt.Limit == 0 {
-		if aggregated, err := query.Aggregated(stmt, t.cfg.Schema); err == nil && aggregated {
-			return t.aggregateQuery(stmt, pred)
-		}
-	}
-	mode := query.Peek
-	if stmt.Consume {
-		mode = query.Consume
-	}
-	res, err := t.QueryPred(pred, mode, opts...)
+	rows, err := pq.ExecuteOpts(opt)
 	if err != nil {
 		return nil, err
 	}
-	return query.Execute(stmt, t.cfg.Schema, res.Tuples)
-}
-
-// aggregateQuery evaluates an aggregate/GROUP BY peek without
-// materialising matches: one partial aggregator per shard, fed during
-// the parallel scan, merged in ascending shard order (deterministic for
-// a fixed shard count).
-func (t *Table) aggregateQuery(stmt *query.SelectStmt, pred *query.Predicate) (*query.Grid, error) {
-	if t.closed.Load() {
-		return nil, t.errClosed()
+	defer rows.Close()
+	g := &query.Grid{Cols: rows.Cols()}
+	for rows.Next() {
+		g.Rows = append(g.Rows, rows.Values())
 	}
-	n := t.store.NumShards()
-	// Validate the statement once; each shard scans into a cheap fork.
-	base, err := query.NewAggregator(stmt, t.cfg.Schema)
-	if err != nil {
+	if err := rows.Err(); err != nil {
 		return nil, err
 	}
-	aggs := make([]*query.Aggregator, n)
-	err = fanOut(n, t.workers, func(i int) error {
-		agg := base.Fork()
-		t.shardMu[i].RLock()
-		defer t.shardMu[i].RUnlock()
-		var innerErr error
-		t.store.ScanShard(i, func(tp *tuple.Tuple) bool {
-			ok, err := pred.Match(tp)
-			if err != nil {
-				innerErr = err
-				return false
-			}
-			if ok {
-				if err := agg.Feed(tp); err != nil {
-					innerErr = err
-					return false
-				}
-			}
-			return true
-		})
-		aggs[i] = agg
-		return innerErr
-	})
-	if err != nil {
-		return nil, err
-	}
-	for i := 1; i < n; i++ {
-		if err := aggs[0].Merge(aggs[i]); err != nil {
-			return nil, err
-		}
-	}
-	t.mu.Lock()
-	t.ctrs.Queries++
-	t.mu.Unlock()
-	return aggs[0].Grid()
+	return g, nil
 }
 
 // Tick applies one decay cycle: every shard's fungus runs (in parallel

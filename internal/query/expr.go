@@ -7,7 +7,10 @@
 // mode is the classical non-destructive read, kept as the baseline.
 //
 // The engine (internal/core) owns execution; this package provides the
-// compiled predicate, projection and aggregation machinery.
+// statement grammar (with `?` placeholders), the compiled Plan —
+// schema validation, projection, aggregation and routing decided once
+// at prepare time — and the pull-based Rows iterator the executor
+// streams results through. See docs/QUERY.md for the full lifecycle.
 package query
 
 import (
@@ -24,10 +27,20 @@ type Env interface {
 	Lookup(name string) (tuple.Value, error)
 }
 
-// TupleEnv adapts a tuple + schema pair into an Env.
+// TupleEnv adapts a tuple + schema pair into an Env. Params, when
+// non-nil, binds the statement's positional `?` placeholders.
 type TupleEnv struct {
 	Schema *tuple.Schema
 	Tuple  *tuple.Tuple
+	Params []tuple.Value
+}
+
+// Param implements ParamResolver.
+func (e TupleEnv) Param(i int) (tuple.Value, error) {
+	if i < 0 || i >= len(e.Params) {
+		return tuple.Value{}, fmt.Errorf("query: parameter ?%d is not bound (%d given)", i+1, len(e.Params))
+	}
+	return e.Params[i], nil
 }
 
 // Lookup implements Env.

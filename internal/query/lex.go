@@ -24,6 +24,7 @@ const (
 	tokLParen // (
 	tokRParen // )
 	tokComma  // ,
+	tokQMark  // ? positional placeholder
 )
 
 type token struct {
@@ -49,6 +50,9 @@ func lex(src string) ([]token, error) {
 			i++
 		case c == ',':
 			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '?':
+			toks = append(toks, token{tokQMark, "?", i})
 			i++
 		case c == '*':
 			// '*' doubles as multiply and the SELECT star; the parsers

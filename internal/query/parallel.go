@@ -37,7 +37,8 @@ type Aggregator struct {
 	targets []SelectTarget
 	schema  *tuple.Schema
 	groups  map[string]*aggGroup
-	order   []string // first-seen group order
+	order   []string      // first-seen group order
+	params  []tuple.Value // bound `?` placeholders, nil when the statement has none
 }
 
 // Aggregated reports whether the statement needs the aggregate path
@@ -87,6 +88,7 @@ func (a *Aggregator) Fork() *Aggregator {
 		targets: a.targets,
 		schema:  a.schema,
 		groups:  map[string]*aggGroup{},
+		params:  a.params,
 	}
 }
 
@@ -113,7 +115,7 @@ func checkGrouping(stmt *SelectStmt, targets []SelectTarget, schema *tuple.Schem
 
 // Feed folds one tuple into the accumulator.
 func (a *Aggregator) Feed(tp *tuple.Tuple) error {
-	env := TupleEnv{Schema: a.schema, Tuple: tp}
+	env := TupleEnv{Schema: a.schema, Tuple: tp, Params: a.params}
 	keyVals := make([]tuple.Value, len(a.stmt.GroupBy))
 	var kb strings.Builder
 	for j, c := range a.stmt.GroupBy {

@@ -1,0 +1,61 @@
+package query
+
+import (
+	"fmt"
+
+	"fungusdb/internal/tuple"
+)
+
+// Param is a positional `?` placeholder in a prepared statement.
+// Indices are assigned left to right in source order, starting at 0.
+// Evaluation resolves the value through the Env, which must implement
+// ParamResolver (TupleEnv does, via its Params field); evaluating a
+// parameter that was never bound is an error, so a statement with
+// placeholders can only run through the prepare/execute path.
+type Param struct{ Index int }
+
+// ParamResolver is the optional Env extension that resolves positional
+// placeholders.
+type ParamResolver interface {
+	// Param returns the value bound to placeholder i (0-based).
+	Param(i int) (tuple.Value, error)
+}
+
+// Eval implements Expr.
+func (p Param) Eval(env Env) (tuple.Value, error) {
+	if pr, ok := env.(ParamResolver); ok {
+		return pr.Param(p.Index)
+	}
+	return tuple.Value{}, fmt.Errorf("query: parameter ?%d is not bound", p.Index+1)
+}
+
+// String implements Expr.
+func (p Param) String() string { return "?" }
+
+// bindExpr substitutes every placeholder under e with its bound value
+// as a literal, returning the rewritten tree. The caller has already
+// arity-checked params. Rebinding copies only the expression spine —
+// a per-execute cost proportional to the (tiny) tree, which buys
+// literal-speed evaluation on the per-tuple hot path: no parameter
+// lookup, no resolver assertion, per scanned tuple.
+func bindExpr(e Expr, params []tuple.Value) Expr {
+	switch n := e.(type) {
+	case Param:
+		return Lit{V: params[n.Index]}
+	case Bin:
+		return Bin{Op: n.Op, L: bindExpr(n.L, params), R: bindExpr(n.R, params)}
+	case Not:
+		return Not{X: bindExpr(n.X, params)}
+	case Neg:
+		return Neg{X: bindExpr(n.X, params)}
+	case Like:
+		return Like{X: bindExpr(n.X, params), Pattern: bindExpr(n.Pattern, params)}
+	case In:
+		list := make([]Expr, len(n.List))
+		for i, item := range n.List {
+			list[i] = bindExpr(item, params)
+		}
+		return In{X: bindExpr(n.X, params), List: list}
+	}
+	return e
+}

@@ -22,24 +22,39 @@ import (
 //	primary:= INT | FLOAT | STRING | TRUE | FALSE | ident | ( expr )
 //
 // An empty source parses to the constant TRUE (select everything),
-// matching the paper's unqualified "each query Q".
+// matching the paper's unqualified "each query Q". Placeholders are
+// rejected: a bare WHERE expression has no bind step, so `?` is only
+// legal inside a prepared statement (ParseStatement).
 func Parse(src string) (Expr, error) {
-	toks, err := lex(src)
+	e, params, err := parseWhere(src)
 	if err != nil {
 		return nil, err
+	}
+	if params > 0 {
+		return nil, fmt.Errorf("query: expression has %d '?' placeholder(s); prepare it as a statement to bind them", params)
+	}
+	return e, nil
+}
+
+// parseWhere parses a bare WHERE expression and reports how many `?`
+// placeholders it contains.
+func parseWhere(src string) (Expr, int, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, 0, err
 	}
 	p := &parser{toks: toks}
 	if p.peek().kind == tokEOF {
-		return Lit{V: tuple.Bool(true)}, nil
+		return Lit{V: tuple.Bool(true)}, 0, nil
 	}
 	e, err := p.parseOr()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if t := p.peek(); t.kind != tokEOF {
-		return nil, fmt.Errorf("query: unexpected %q at %d", t.text, t.pos)
+		return nil, 0, fmt.Errorf("query: unexpected %q at %d", t.text, t.pos)
 	}
-	return e, nil
+	return e, p.params, nil
 }
 
 // MustParse is Parse that panics on error, for tests and examples.
@@ -52,8 +67,9 @@ func MustParse(src string) Expr {
 }
 
 type parser struct {
-	toks []token
-	pos  int
+	toks   []token
+	pos    int
+	params int // `?` placeholders seen so far; indices assign in parse order
 }
 
 func (p *parser) peek() token { return p.toks[p.pos] }
@@ -312,6 +328,9 @@ func (p *parser) parsePrimary() (Expr, error) {
 		return Lit{V: tuple.Bool(false)}, nil
 	case tokIdent:
 		return Col{Name: t.text}, nil
+	case tokQMark:
+		p.params++
+		return Param{Index: p.params - 1}, nil
 	case tokLParen:
 		e, err := p.parseOr()
 		if err != nil {

@@ -1,0 +1,304 @@
+package query
+
+import (
+	"fungusdb/internal/tuple"
+)
+
+// Rows is the pull-based result of executing a prepared plan. The
+// iteration contract follows database/sql:
+//
+//	rows, err := pq.Execute(params...)
+//	defer rows.Close()
+//	for rows.Next() {
+//	    use rows.Values() (projected) or rows.Tuple() (raw plans)
+//	}
+//	if err := rows.Err(); err != nil { ... }
+//
+// For streaming plans the rows arrive from per-shard scan goroutines as
+// they are produced (k-way merged back into global insertion order), so
+// a large answer never materialises in one place; Close releases the
+// producers early when the caller stops before exhaustion. Plans with a
+// barrier (ORDER BY, aggregation, consume, ask) are memory-backed and
+// Close is a no-op. A Rows is not safe for concurrent use.
+type Rows struct {
+	cols   []string
+	mode   Mode
+	src    rowSource
+	vals   []tuple.Value
+	tp     *tuple.Tuple
+	err    error
+	done   bool
+	closed bool
+}
+
+// rowSource feeds a Rows. next sets r.vals/r.tp and returns true, or
+// returns false at end of stream (setting r.err on failure).
+type rowSource interface {
+	next(r *Rows) bool
+	close() error
+	scanned() int
+}
+
+// Cols returns the output column names (nil for raw tuple scans).
+func (r *Rows) Cols() []string { return r.cols }
+
+// Mode returns the executed plan's read semantics.
+func (r *Rows) Mode() Mode { return r.mode }
+
+// Next advances to the next row, reporting whether one is available.
+// Once it returns false, check Err.
+func (r *Rows) Next() bool {
+	if r.done || r.closed {
+		return false
+	}
+	if !r.src.next(r) {
+		r.done = true
+		r.vals, r.tp = nil, nil
+		return false
+	}
+	return true
+}
+
+// Values returns the current projected row. It is valid until the next
+// Next call; nil for raw plans (use Tuple).
+func (r *Rows) Values() []tuple.Value { return r.vals }
+
+// Tuple returns the current whole tuple for raw plans (Query-style
+// scans); nil when the plan has a projection stage.
+func (r *Rows) Tuple() *tuple.Tuple { return r.tp }
+
+// Err returns the first error hit while producing rows. For streaming
+// plans an error in one shard surfaces after the remaining shards'
+// rows drain, so callers must always check Err after Next returns
+// false before trusting the row set.
+func (r *Rows) Err() error { return r.err }
+
+// Scanned returns the number of live tuples examined. It is complete
+// only after Next has returned false (or Close ran).
+func (r *Rows) Scanned() int { return r.src.scanned() }
+
+// Close releases the result early: streaming producers are signalled,
+// drained and joined. It is idempotent and returns Err.
+func (r *Rows) Close() error {
+	if !r.closed {
+		r.closed = true
+		if cerr := r.src.close(); r.err == nil {
+			r.err = cerr
+		}
+	}
+	return r.err
+}
+
+// --- memory-backed sources -------------------------------------------
+
+// valueSource serves pre-computed value rows (grids, ask answers).
+type valueSource struct {
+	rows     [][]tuple.Value
+	i        int
+	scannedN int
+}
+
+func (s *valueSource) next(r *Rows) bool {
+	if s.i >= len(s.rows) {
+		return false
+	}
+	r.vals, r.tp = s.rows[s.i], nil
+	s.i++
+	return true
+}
+
+func (s *valueSource) close() error { return nil }
+func (s *valueSource) scanned() int { return s.scannedN }
+
+// NewValueRows wraps materialised value rows (an executed grid, an ask
+// answer) as a Rows.
+func NewValueRows(cols []string, mode Mode, rows [][]tuple.Value, scanned int) *Rows {
+	return &Rows{cols: cols, mode: mode, src: &valueSource{rows: rows, scannedN: scanned}}
+}
+
+// NewGridRows wraps a materialised Grid as a Rows.
+func NewGridRows(g *Grid, mode Mode, scanned int) *Rows {
+	return &Rows{cols: g.Cols, mode: mode, src: &valueSource{rows: g.Rows, scannedN: scanned}}
+}
+
+// tupleSource serves a materialised matching set, optionally projected.
+type tupleSource struct {
+	tuples   []tuple.Tuple
+	i        int
+	project  func(*tuple.Tuple) ([]tuple.Value, error) // nil = raw
+	scannedN int
+}
+
+func (s *tupleSource) next(r *Rows) bool {
+	if s.i >= len(s.tuples) {
+		return false
+	}
+	tp := &s.tuples[s.i]
+	s.i++
+	if s.project != nil {
+		vals, err := s.project(tp)
+		if err != nil {
+			r.err = err
+			return false
+		}
+		r.vals = vals
+	} else {
+		r.vals = nil
+	}
+	r.tp = tp
+	return true
+}
+
+func (s *tupleSource) close() error { return nil }
+func (s *tupleSource) scanned() int { return s.scannedN }
+
+// NewTupleRows wraps a materialised matching set as a Rows. A nil
+// project yields raw tuples only.
+func NewTupleRows(cols []string, mode Mode, tuples []tuple.Tuple, project func(*tuple.Tuple) ([]tuple.Value, error), scanned int) *Rows {
+	return &Rows{cols: cols, mode: mode, src: &tupleSource{tuples: tuples, project: project, scannedN: scanned}}
+}
+
+// --- shard-streaming source ------------------------------------------
+
+// Stream wires a shard-parallel scan into a Rows. The engine owns the
+// producer goroutines; this type owns the pull side.
+type Stream struct {
+	// Cols are the output column names (nil for raw plans).
+	Cols []string
+	// Mode is the plan's read semantics.
+	Mode Mode
+	// Batches carries each shard's matching tuples as ID-ascending
+	// batches; every channel is closed when its shard's scan ends.
+	Batches []<-chan []tuple.Tuple
+	// Done is closed exactly once by the Rows to abort the producers
+	// (early Close, limit reached, projection error).
+	Done chan struct{}
+	// Wait blocks until every producer exited and returns the total
+	// live tuples scanned plus the first scan error.
+	Wait func() (scanned int, err error)
+	// Project maps a matching tuple to an output row; nil = raw.
+	Project func(*tuple.Tuple) ([]tuple.Value, error)
+	// Limit caps the emitted rows (0 = unlimited).
+	Limit int
+}
+
+// NewStreamRows builds the pull-based k-way merge over per-shard batch
+// channels: each shard's batches are ID-ascending, so emitting the
+// smallest head ID reproduces global insertion order — the same order
+// the materialised path's mergeByID produces.
+func NewStreamRows(s Stream) *Rows {
+	return &Rows{cols: s.Cols, mode: s.Mode, src: &streamSource{
+		batches: s.Batches,
+		done:    s.Done,
+		wait:    s.Wait,
+		project: s.Project,
+		limit:   s.Limit,
+	}}
+}
+
+type streamSource struct {
+	batches []<-chan []tuple.Tuple
+	heads   [][]tuple.Tuple // current batch per shard; nil once its channel closed
+	idx     []int           // cursor into heads[i]
+	done    chan struct{}
+	wait    func() (int, error)
+	project func(*tuple.Tuple) ([]tuple.Value, error)
+	limit   int
+	emitted int
+	started bool
+	stopped bool
+	total   int
+	waitErr error
+}
+
+func (s *streamSource) next(r *Rows) bool {
+	if s.stopped {
+		return false
+	}
+	if !s.started {
+		s.started = true
+		s.heads = make([][]tuple.Tuple, len(s.batches))
+		s.idx = make([]int, len(s.batches))
+		for i := range s.batches {
+			s.refill(i)
+		}
+	}
+	if s.limit > 0 && s.emitted >= s.limit {
+		if err := s.shutdown(); err != nil && r.err == nil {
+			r.err = err
+		}
+		return false
+	}
+	best := -1
+	for i, h := range s.heads {
+		if h == nil {
+			continue
+		}
+		if best < 0 || h[s.idx[i]].ID < s.heads[best][s.idx[best]].ID {
+			best = i
+		}
+	}
+	if best < 0 {
+		if err := s.shutdown(); err != nil && r.err == nil {
+			r.err = err
+		}
+		return false
+	}
+	tp := &s.heads[best][s.idx[best]]
+	s.idx[best]++
+	if s.idx[best] == len(s.heads[best]) {
+		s.refill(best)
+	}
+	if s.project != nil {
+		vals, err := s.project(tp)
+		if err != nil {
+			r.err = err
+			_ = s.shutdown()
+			return false
+		}
+		r.vals = vals
+	} else {
+		r.vals = nil
+	}
+	r.tp = tp
+	s.emitted++
+	return true
+}
+
+// refill receives shard i's next batch, marking the shard finished
+// when its channel closes.
+func (s *streamSource) refill(i int) {
+	for {
+		b, ok := <-s.batches[i]
+		if !ok {
+			s.heads[i] = nil
+			return
+		}
+		if len(b) > 0 {
+			s.heads[i] = b
+			s.idx[i] = 0
+			return
+		}
+	}
+}
+
+// shutdown aborts and joins the producers: signal done, drain every
+// channel so no producer stays blocked on a send, then collect the
+// scan error and totals. Idempotent; returns the first scan error.
+func (s *streamSource) shutdown() error {
+	if s.stopped {
+		return s.waitErr
+	}
+	s.stopped = true
+	close(s.done)
+	for _, ch := range s.batches {
+		for range ch { // drain until closed so producers unblock
+		}
+	}
+	s.total, s.waitErr = s.wait()
+	return s.waitErr
+}
+
+func (s *streamSource) close() error { return s.shutdown() }
+
+func (s *streamSource) scanned() int { return s.total }

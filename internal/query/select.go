@@ -28,6 +28,7 @@ type SelectStmt struct {
 	GroupBy []string
 	OrderBy []OrderKey
 	Limit   int // 0 = unlimited
+	Params  int // number of `?` placeholders, in parse order
 }
 
 // AggKind enumerates aggregate functions.
@@ -163,6 +164,7 @@ func ParseSelect(src string) (*SelectStmt, error) {
 	if t := p.peek(); t.kind != tokEOF {
 		return nil, fmt.Errorf("query: unexpected %q at %d", t.text, t.pos)
 	}
+	stmt.Params = p.params
 	return stmt, nil
 }
 
@@ -253,7 +255,9 @@ type Grid struct {
 
 // Execute evaluates the statement's target/group/order/limit stages
 // over the given tuples (already filtered by WHERE). The engine layer
-// owns the scan and consume semantics; Execute is pure.
+// owns the scan and consume semantics; Execute is pure. Statements with
+// placeholders must run through a Plan, which threads the bound
+// parameters into these same stages.
 func Execute(stmt *SelectStmt, schema *tuple.Schema, tuples []tuple.Tuple) (*Grid, error) {
 	targets, err := expandTargets(stmt, schema)
 	if err != nil {
@@ -266,9 +270,9 @@ func Execute(stmt *SelectStmt, schema *tuple.Schema, tuples []tuple.Tuple) (*Gri
 		}
 	}
 	if len(stmt.GroupBy) > 0 || hasAgg {
-		return executeGrouped(stmt, targets, schema, tuples)
+		return executeGrouped(stmt, targets, schema, tuples, nil)
 	}
-	return executePlain(stmt, targets, schema, tuples)
+	return executePlain(stmt, targets, schema, tuples, nil)
 }
 
 func expandTargets(stmt *SelectStmt, schema *tuple.Schema) ([]SelectTarget, error) {
@@ -303,13 +307,13 @@ func expandTargets(stmt *SelectStmt, schema *tuple.Schema) ([]SelectTarget, erro
 	return out, nil
 }
 
-func executePlain(stmt *SelectStmt, targets []SelectTarget, schema *tuple.Schema, tuples []tuple.Tuple) (*Grid, error) {
+func executePlain(stmt *SelectStmt, targets []SelectTarget, schema *tuple.Schema, tuples []tuple.Tuple, params []tuple.Value) (*Grid, error) {
 	g := &Grid{}
 	for _, t := range targets {
 		g.Cols = append(g.Cols, t.Alias)
 	}
 	for i := range tuples {
-		env := TupleEnv{Schema: schema, Tuple: &tuples[i]}
+		env := TupleEnv{Schema: schema, Tuple: &tuples[i], Params: params}
 		row := make([]tuple.Value, len(targets))
 		for j, t := range targets {
 			v, err := t.Expr.Eval(env)
@@ -395,11 +399,11 @@ func (a *aggState) result(kind AggKind) tuple.Value {
 	return tuple.Value{}
 }
 
-func executeGrouped(stmt *SelectStmt, targets []SelectTarget, schema *tuple.Schema, tuples []tuple.Tuple) (*Grid, error) {
+func executeGrouped(stmt *SelectStmt, targets []SelectTarget, schema *tuple.Schema, tuples []tuple.Tuple, params []tuple.Value) (*Grid, error) {
 	if err := checkGrouping(stmt, targets, schema); err != nil {
 		return nil, err
 	}
-	agg := &Aggregator{stmt: stmt, targets: targets, schema: schema, groups: map[string]*aggGroup{}}
+	agg := &Aggregator{stmt: stmt, targets: targets, schema: schema, groups: map[string]*aggGroup{}, params: params}
 	for i := range tuples {
 		if err := agg.Feed(&tuples[i]); err != nil {
 			return nil, err

@@ -53,8 +53,8 @@ func (c *Client) do(method, path string, in, out any) error {
 	}
 	if resp.StatusCode >= 400 {
 		var eb errorBody
-		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
-			return fmt.Errorf("server: %s", eb.Error)
+		if json.Unmarshal(data, &eb) == nil && eb.Error.Message != "" {
+			return fmt.Errorf("server: %s (%s)", eb.Error.Message, eb.Error.Code)
 		}
 		return fmt.Errorf("server: status %d: %s", resp.StatusCode, trim(string(data)))
 	}

@@ -26,20 +26,43 @@ import (
 	"fungusdb/internal/catalog"
 	"fungusdb/internal/core"
 	"fungusdb/internal/query"
-	"fungusdb/internal/sketch"
 	"fungusdb/internal/tuple"
 	"fungusdb/internal/wal"
 )
 
-// Server is the HTTP front end of one DB.
-type Server struct {
-	db  *core.DB
-	mux *http.ServeMux
+// DefaultMaxRequestBytes caps request bodies when Config leaves
+// MaxRequestBytes unset: 64 MiB.
+const DefaultMaxRequestBytes = 64 << 20
+
+// Config tunes the HTTP front end.
+type Config struct {
+	// MaxRequestBytes caps every request body (bulk inserts are the
+	// usual offender). 0 means DefaultMaxRequestBytes; negative
+	// disables the cap entirely.
+	MaxRequestBytes int64
+	// PreparedHandles bounds the /v2/prepare handle cache (0 = the
+	// defaultHandleCap of 256).
+	PreparedHandles int
 }
 
-// New wraps db. The returned Server is an http.Handler.
-func New(db *core.DB) *Server {
-	s := &Server{db: db, mux: http.NewServeMux()}
+// Server is the HTTP front end of one DB.
+type Server struct {
+	db   *core.DB
+	mux  *http.ServeMux
+	cfg  Config
+	prep *handleCache
+}
+
+// New wraps db with default configuration. The returned Server is an
+// http.Handler.
+func New(db *core.DB) *Server { return NewWithConfig(db, Config{}) }
+
+// NewWithConfig wraps db with explicit limits.
+func NewWithConfig(db *core.DB, cfg Config) *Server {
+	if cfg.MaxRequestBytes == 0 {
+		cfg.MaxRequestBytes = DefaultMaxRequestBytes
+	}
+	s := &Server{db: db, mux: http.NewServeMux(), cfg: cfg, prep: newHandleCache(cfg.PreparedHandles)}
 	s.mux.HandleFunc("GET /healthz", s.health)
 	s.mux.HandleFunc("GET /v1/tables", s.listTables)
 	s.mux.HandleFunc("POST /v1/tables", s.createTable)
@@ -50,15 +73,37 @@ func New(db *core.DB) *Server {
 	s.mux.HandleFunc("GET /v1/tables/{table}/containers/{container}/ask", s.askContainer)
 	s.mux.HandleFunc("POST /v1/query", s.runQuery)
 	s.mux.HandleFunc("POST /v1/tick", s.tick)
+	s.mux.HandleFunc("POST /v2/prepare", s.prepareV2)
+	s.mux.HandleFunc("POST /v2/query", s.queryV2)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// Stable machine-readable error codes. Every error response is
+//
+//	{"error": {"code": "<one of these>", "message": "..."}}
+//
+// so clients can branch without string-matching messages.
+const (
+	ErrCodeBadRequest = "bad_request" // malformed body, bad params
+	ErrCodeParse      = "parse_error" // statement/question syntax
+	ErrCodePlan       = "plan_error"  // compile-time validation (schema, grouping, arity)
+	ErrCodeNotFound   = "not_found"   // unknown table/container/handle
+	ErrCodeExec       = "exec_error"  // runtime query failure
+	ErrCodeInternal   = "internal"    // engine-side failures
+)
+
+// ErrorDetail is the inner error object of the JSON envelope.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
 // errorBody is the JSON error envelope.
 type errorBody struct {
-	Error string `json:"error"`
+	Error ErrorDetail `json:"error"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -67,15 +112,19 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorBody{Error: err.Error()})
+func writeErr(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, errorBody{Error: ErrorDetail{Code: code, Message: err.Error()}})
 }
 
-func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := r.Body
+	if s.cfg.MaxRequestBytes > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	}
+	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		writeErr(w, http.StatusBadRequest, ErrCodeBadRequest, fmt.Errorf("bad request body: %w", err))
 		return false
 	}
 	return true
@@ -99,7 +148,7 @@ type CreateTableRequest struct {
 
 func (s *Server) createTable(w http.ResponseWriter, r *http.Request) {
 	var req CreateTableRequest
-	if !readJSON(w, r, &req) {
+	if !s.readJSON(w, r, &req) {
 		return
 	}
 	var err error
@@ -109,7 +158,7 @@ func (s *Server) createTable(w http.ResponseWriter, r *http.Request) {
 		err = s.createEphemeral(req.TableSpec)
 	}
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, ErrCodeBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]any{"created": req.Name})
@@ -149,7 +198,7 @@ func (s *Server) table(w http.ResponseWriter, r *http.Request) (*core.Table, boo
 	name := r.PathValue("table")
 	tbl, err := s.db.Table(name)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		writeErr(w, http.StatusNotFound, ErrCodeNotFound, err)
 		return nil, false
 	}
 	return tbl, true
@@ -158,7 +207,7 @@ func (s *Server) table(w http.ResponseWriter, r *http.Request) (*core.Table, boo
 func (s *Server) dropTable(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("table")
 	if err := s.db.DropTable(name); err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		writeErr(w, http.StatusNotFound, ErrCodeNotFound, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"dropped": name})
@@ -182,18 +231,18 @@ func (s *Server) insertRows(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req InsertRequest
-	if !readJSON(w, r, &req) {
+	if !s.readJSON(w, r, &req) {
 		return
 	}
 	if len(req.Rows) == 0 {
-		writeErr(w, http.StatusBadRequest, errors.New("no rows"))
+		writeErr(w, http.StatusBadRequest, ErrCodeBadRequest, errors.New("no rows"))
 		return
 	}
 	rows := make([][]tuple.Value, len(req.Rows))
 	for i, raw := range req.Rows {
 		vals, err := decodeRow(tbl.Schema(), raw)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("row %d: %w", i, err))
+			writeErr(w, http.StatusBadRequest, ErrCodeBadRequest, fmt.Errorf("row %d: %w", i, err))
 			return
 		}
 		rows[i] = vals
@@ -202,7 +251,7 @@ func (s *Server) insertRows(w http.ResponseWriter, r *http.Request) {
 	// is taken once, instead of once per row.
 	tps, err := tbl.InsertBatch(rows)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, ErrCodeExec, err)
 		return
 	}
 	resp := InsertResponse{Inserted: len(tps), FirstID: uint64(tps[0].ID)}
@@ -344,113 +393,54 @@ type AskResponse struct {
 //	GET .../containers/{c}/ask?q=has:col:value
 //
 // Asking refreshes the container (consulted knowledge stays alive).
+// The handler is a shim over the prepared path: the question compiles
+// into an ask plan (validating the column and coercing the operand
+// against the schema up front) and executes against the container's
+// digest; the answer rows map back into the classical AskResponse
+// shape by their column layout.
 func (s *Server) askContainer(w http.ResponseWriter, r *http.Request) {
 	tbl, ok := s.table(w, r)
 	if !ok {
 		return
 	}
-	c := tbl.Shelf().Get(r.PathValue("container"))
-	if c == nil {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("no container %q", r.PathValue("container")))
+	q := r.URL.Query().Get("q")
+	pq, err := tbl.PrepareAsk(r.PathValue("container"), q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, ErrCodePlan, err)
 		return
 	}
-	c.Touch()
-	d := c.Digest
-	q := r.URL.Query().Get("q")
-	parts := strings.Split(q, ":")
-	resp := AskResponse{Question: q}
-	var err error
-	switch parts[0] {
-	case "count":
-		resp.Value = float64(d.Count())
-	case "ndv":
-		if len(parts) != 2 {
-			err = errors.New("ndv wants ndv:<col>")
-			break
-		}
-		var v uint64
-		if v, err = d.NDV(parts[1]); err == nil {
-			resp.Value = float64(v)
-		}
-	case "mean":
-		if len(parts) != 2 {
-			err = errors.New("mean wants mean:<col>")
-			break
-		}
-		resp.Value, err = d.Mean(parts[1])
-	case "sum":
-		if len(parts) != 2 {
-			err = errors.New("sum wants sum:<col>")
-			break
-		}
-		resp.Value, err = d.Sum(parts[1])
-	case "q":
-		if len(parts) != 3 {
-			err = errors.New("quantile wants q:<col>:<0..1>")
-			break
-		}
-		var qv float64
-		if _, serr := fmt.Sscanf(parts[2], "%g", &qv); serr != nil {
-			err = fmt.Errorf("bad quantile %q", parts[2])
-			break
-		}
-		resp.Value, err = d.Quantile(parts[1], qv)
-	case "top":
-		if len(parts) != 2 {
-			err = errors.New("top wants top:<col>")
-			break
-		}
-		var entries []sketch.Entry
-		if entries, err = d.HeavyHitters(parts[1], 10); err == nil {
-			for _, e := range entries {
-				resp.Top = append(resp.Top, struct {
-					Item  string `json:"item"`
-					Count uint64 `json:"count"`
-				}{e.Item, e.Count})
-			}
-		}
-	case "has":
-		if len(parts) != 3 {
-			err = errors.New("has wants has:<col>:<value>")
-			break
-		}
-		var b bool
-		if b, err = d.MayContain(parts[1], guessValue(tbl, parts[1], parts[2])); err == nil {
-			resp.Bool = &b
-		}
-	default:
-		err = fmt.Errorf("unknown question %q", q)
-	}
+	rows, err := pq.Execute()
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		if errors.Is(err, core.ErrNoContainer) {
+			writeErr(w, http.StatusNotFound, ErrCodeNotFound, err)
+			return
+		}
+		writeErr(w, http.StatusBadRequest, ErrCodeExec, err)
+		return
+	}
+	defer rows.Close()
+	resp := AskResponse{Question: q}
+	cols := rows.Cols()
+	for rows.Next() {
+		vals := rows.Values()
+		switch {
+		case len(cols) == 2 && cols[0] == "item": // top:<col>
+			resp.Top = append(resp.Top, struct {
+				Item  string `json:"item"`
+				Count uint64 `json:"count"`
+			}{vals[0].AsString(), uint64(vals[1].AsInt())})
+		case len(cols) == 1 && cols[0] == "contains": // has:<col>:<v>
+			b := vals[0].AsBool()
+			resp.Bool = &b
+		default: // scalar questions
+			resp.Value = vals[0].AsFloat()
+		}
+	}
+	if err := rows.Err(); err != nil {
+		writeErr(w, http.StatusBadRequest, ErrCodeExec, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
-}
-
-// guessValue parses raw according to the column's schema kind, falling
-// back to a string value for unknown columns (the digest will reject
-// them with a proper error).
-func guessValue(tbl *core.Table, col, raw string) tuple.Value {
-	i := tbl.Schema().Index(col)
-	if i < 0 {
-		return tuple.String_(raw)
-	}
-	switch tbl.Schema().Column(i).Kind {
-	case tuple.KindInt:
-		var n int64
-		if _, err := fmt.Sscanf(raw, "%d", &n); err == nil {
-			return tuple.Int(n)
-		}
-	case tuple.KindFloat:
-		var f float64
-		if _, err := fmt.Sscanf(raw, "%g", &f); err == nil {
-			return tuple.Float(f)
-		}
-	case tuple.KindBool:
-		return tuple.Bool(raw == "true")
-	}
-	return tuple.String_(raw)
 }
 
 // QueryRequest is the POST /v1/query body. SQL must be a SELECT
@@ -467,37 +457,62 @@ type QueryResponse struct {
 	Rows [][]any  `json:"rows"`
 }
 
+// preparedForSQL routes a statement to its table and compiles it: the
+// single front door every SQL-shaped handler (v1 and v2) goes through.
+func (s *Server) preparedForSQL(w http.ResponseWriter, sql string) (*core.PreparedQuery, bool) {
+	stmt, err := query.ParseStatement(sql)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, ErrCodeParse, err)
+		return nil, false
+	}
+	tbl, err := s.db.Table(stmt.From())
+	if err != nil {
+		writeErr(w, http.StatusNotFound, ErrCodeNotFound, err)
+		return nil, false
+	}
+	pq, err := tbl.PrepareStatement(stmt)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, ErrCodePlan, err)
+		return nil, false
+	}
+	return pq, true
+}
+
+// runQuery is the v1 materialised endpoint, re-expressed as a shim
+// over the prepared path: Prepare, Execute, drain the stream into one
+// grid-shaped JSON body. Use /v2/query for NDJSON streaming and
+// parameter binding.
 func (s *Server) runQuery(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
-	if !readJSON(w, r, &req) {
+	if !s.readJSON(w, r, &req) {
 		return
 	}
-	stmt, err := query.ParseSelect(req.SQL)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	pq, ok := s.preparedForSQL(w, req.SQL)
+	if !ok {
 		return
 	}
-	tbl, err := s.db.Table(stmt.From)
-	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
-		return
-	}
-	var opts []core.QueryOpts
+	var opt core.QueryOpts
 	if req.Distill != "" {
-		opts = append(opts, core.QueryOpts{Distill: req.Distill})
+		opt.Distill = req.Distill
 	}
-	g, err := tbl.SQL(req.SQL, opts...)
+	rows, err := pq.ExecuteOpts(opt)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, ErrCodeExec, err)
 		return
 	}
-	resp := QueryResponse{Cols: g.Cols, Rows: make([][]any, len(g.Rows))}
-	for i, row := range g.Rows {
-		out := make([]any, len(row))
-		for j, v := range row {
+	defer rows.Close()
+	resp := QueryResponse{Cols: rows.Cols(), Rows: [][]any{}}
+	for rows.Next() {
+		vals := rows.Values()
+		out := make([]any, len(vals))
+		for j, v := range vals {
 			out[j] = valueToJSON(v)
 		}
-		resp.Rows[i] = out
+		resp.Rows = append(resp.Rows, out)
+	}
+	if err := rows.Err(); err != nil {
+		writeErr(w, http.StatusBadRequest, ErrCodeExec, err)
+		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -530,21 +545,21 @@ type TickResponse struct {
 
 func (s *Server) tick(w http.ResponseWriter, r *http.Request) {
 	var req TickRequest
-	if !readJSON(w, r, &req) {
+	if !s.readJSON(w, r, &req) {
 		return
 	}
 	if req.N < 1 {
 		req.N = 1
 	}
 	if req.N > 1_000_000 {
-		writeErr(w, http.StatusBadRequest, errors.New("n too large"))
+		writeErr(w, http.StatusBadRequest, ErrCodeBadRequest, errors.New("n too large"))
 		return
 	}
 	resp := TickResponse{}
 	for i := 0; i < req.N; i++ {
 		rep, err := s.db.Tick()
 		if err != nil {
-			writeErr(w, http.StatusInternalServerError, err)
+			writeErr(w, http.StatusInternalServerError, ErrCodeInternal, err)
 			return
 		}
 		resp.Rotted += rep.TotalRot

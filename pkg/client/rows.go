@@ -1,0 +1,189 @@
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Stmt is a server-side prepared statement: the SQL compiled once into
+// a plan cached under an opaque handle. Execute it any number of times
+// with different parameter bindings. If the server evicts the handle,
+// Query returns a not_found *Error — re-Prepare and retry.
+type Stmt struct {
+	c *Client
+	// Handle is the server-side token.
+	Handle string
+	// Cols are the statement's output column names.
+	Cols []string
+	// NumParams is how many `?` placeholders Query must bind.
+	NumParams int
+}
+
+// Prepare compiles sql on the server and returns the reusable handle.
+func (c *Client) Prepare(sql string) (*Stmt, error) {
+	var resp struct {
+		Handle string   `json:"handle"`
+		Cols   []string `json:"cols"`
+		Params int      `json:"params"`
+	}
+	if err := c.do(http.MethodPost, "/v2/prepare", map[string]string{"sql": sql}, &resp); err != nil {
+		return nil, err
+	}
+	return &Stmt{c: c, Handle: resp.Handle, Cols: resp.Cols, NumParams: resp.Params}, nil
+}
+
+// Query executes the prepared statement with the given positional
+// parameters, streaming the result.
+func (s *Stmt) Query(params ...any) (*Rows, error) {
+	return s.c.stream(map[string]any{"handle": s.Handle, "params": params})
+}
+
+// Query executes sql in one shot over the streaming endpoint. Params
+// bind the statement's `?` placeholders positionally.
+func (c *Client) Query(sql string, params ...any) (*Rows, error) {
+	return c.stream(map[string]any{"sql": sql, "params": params})
+}
+
+// stream POSTs to /v2/query and wires the NDJSON body into a Rows.
+func (c *Client) stream(body map[string]any) (*Rows, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return nil, fmt.Errorf("client: marshal: %w", err)
+	}
+	req, err := http.NewRequest(http.MethodPost, c.base+"/v2/query", bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("client: request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	if resp.StatusCode >= 400 {
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		return nil, decodeError(resp.StatusCode, data)
+	}
+	r := &Rows{body: resp.Body, dec: json.NewDecoder(resp.Body)}
+	// The header is the first NDJSON line; reading it here surfaces
+	// immediate failures from Query itself.
+	var header struct {
+		Cols []string `json:"cols"`
+	}
+	var raw json.RawMessage
+	if err := r.dec.Decode(&raw); err != nil {
+		resp.Body.Close()
+		return nil, fmt.Errorf("client: stream header: %w", err)
+	}
+	if err := json.Unmarshal(raw, &header); err != nil {
+		resp.Body.Close()
+		return nil, fmt.Errorf("client: stream header: %w", err)
+	}
+	r.cols = header.Cols
+	return r, nil
+}
+
+// Rows iterates an NDJSON result stream row by row; rows decode as the
+// server produces them, so a very large answer never buffers in the
+// client either. Always Close (or drain) the Rows.
+type Rows struct {
+	body    io.ReadCloser
+	dec     *json.Decoder
+	cols    []string
+	cur     []any
+	err     error
+	done    bool
+	rows    int
+	scanned int
+	trailer bool // saw {"done":true,...}
+}
+
+// Cols returns the output column names.
+func (r *Rows) Cols() []string { return r.cols }
+
+// Next advances to the next row. Once it returns false, check Err.
+func (r *Rows) Next() bool {
+	if r.done {
+		return false
+	}
+	var raw json.RawMessage
+	if err := r.dec.Decode(&raw); err != nil {
+		// A truncated stream (no trailer) means the server died
+		// mid-answer; io.EOF alone is not success.
+		r.fail(fmt.Errorf("client: stream truncated: %w", err))
+		return false
+	}
+	trimmed := bytes.TrimLeft(raw, " \t\r\n")
+	if len(trimmed) == 0 {
+		r.fail(fmt.Errorf("client: empty stream line"))
+		return false
+	}
+	if trimmed[0] == '[' {
+		var row []any
+		if err := json.Unmarshal(trimmed, &row); err != nil {
+			r.fail(fmt.Errorf("client: bad row: %w", err))
+			return false
+		}
+		r.cur = row
+		r.rows++
+		return true
+	}
+	// Object line: trailer or mid-stream error.
+	var tail struct {
+		Done    bool `json:"done"`
+		Rows    int  `json:"rows"`
+		Scanned int  `json:"scanned"`
+		Error   *struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(trimmed, &tail); err != nil {
+		r.fail(fmt.Errorf("client: bad stream line: %w", err))
+		return false
+	}
+	if tail.Error != nil {
+		r.fail(&Error{Code: tail.Error.Code, Message: tail.Error.Message, Status: http.StatusOK})
+		return false
+	}
+	if !tail.Done {
+		r.fail(fmt.Errorf("client: unexpected stream line"))
+		return false
+	}
+	r.trailer = true
+	r.scanned = tail.Scanned
+	r.done = true
+	return false
+}
+
+func (r *Rows) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+	r.done = true
+}
+
+// Row returns the current row's values (JSON-typed: float64, string,
+// bool). Valid until the next Next call.
+func (r *Rows) Row() []any { return r.cur }
+
+// Err returns the first error hit while streaming. It is nil after a
+// complete, trailer-terminated stream.
+func (r *Rows) Err() error { return r.err }
+
+// Scanned reports how many live tuples the server examined (valid
+// after the stream completed).
+func (r *Rows) Scanned() int { return r.scanned }
+
+// Count reports the rows received so far.
+func (r *Rows) Count() int { return r.rows }
+
+// Close releases the underlying response body. Closing before the
+// stream ends aborts the server-side scan.
+func (r *Rows) Close() error {
+	r.done = true
+	return r.body.Close()
+}
