@@ -912,3 +912,129 @@ func BenchmarkIngestPipeline(b *testing.B) {
 		}
 	}
 }
+
+// prunedScanTable builds a 100k extent whose seq column grows
+// monotonically with insertion order, so its values correlate with the
+// segment layout exactly the way the paper's insertion-time axis
+// intends — range predicates over seq can skip whole ID ranges.
+func prunedScanTable(b *testing.B, shards, n int) (*core.DB, *core.Table) {
+	b.Helper()
+	schema := tuple.MustSchema(
+		tuple.Column{Name: "seq", Kind: tuple.KindInt},
+		tuple.Column{Name: "temp", Kind: tuple.KindFloat},
+		tuple.Column{Name: "device", Kind: tuple.KindString},
+	)
+	db, err := core.Open(core.DBConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	tbl, err := db.CreateTable("p", core.TableConfig{Schema: schema, Shards: shards})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := make([][]tuple.Value, 1024)
+	for done := 0; done < n; {
+		batch := len(rows)
+		if rem := n - done; rem < batch {
+			batch = rem
+		}
+		for i := 0; i < batch; i++ {
+			seq := done + i
+			rows[i] = core.Row(seq, float64(seq%100), fmt.Sprintf("sensor-%d", seq%32))
+		}
+		if _, err := tbl.InsertBatch(rows[:batch]); err != nil {
+			b.Fatal(err)
+		}
+		done += batch
+	}
+	return db, tbl
+}
+
+// BenchmarkPrunedScan measures what zone-map segment pruning buys on a
+// selective scan: mode=pruned consults the per-segment summaries and
+// skips non-overlapping ID ranges before touching a tuple, mode=off
+// (QueryOpts.NoPrune) visits every live tuple. Both run the compiled
+// predicate closures; the delta is pruning alone. Custom metrics
+// report the per-op pruning counters (prunedsegs/op, skippedtuples/op)
+// that fungusbench -benchjson carries into BENCH_ci.json.
+func BenchmarkPrunedScan(b *testing.B) {
+	const n = 100_000
+	for _, shards := range []int{1, 4, 8} {
+		_, tbl := prunedScanTable(b, shards, n)
+		for _, sel := range []float64{0.001, 0.1, 1.0} {
+			want := int(float64(n) * sel)
+			pq, err := tbl.Prepare(fmt.Sprintf("SELECT seq FROM p WHERE seq >= %d", n-want))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, mode := range []string{"pruned", "off"} {
+				opt := core.QueryOpts{NoPrune: mode == "off"}
+				b.Run(fmt.Sprintf("sel=%g/shards=%d/prune=%s", sel, shards, mode), func(b *testing.B) {
+					before := tbl.StoreStats()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						rows, err := pq.ExecuteOpts(opt)
+						if err != nil {
+							b.Fatal(err)
+						}
+						got := 0
+						for rows.Next() {
+							got++
+						}
+						if err := rows.Close(); err != nil {
+							b.Fatal(err)
+						}
+						if got != want {
+							b.Fatalf("answer %d, want %d", got, want)
+						}
+					}
+					b.StopTimer()
+					after := tbl.StoreStats()
+					b.ReportMetric(float64(after.SegsPruned-before.SegsPruned)/float64(b.N), "prunedsegs/op")
+					b.ReportMetric(float64(after.TuplesSkipped-before.TuplesSkipped)/float64(b.N), "skippedtuples/op")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkOrderedTopK measures the ORDER BY push-down: mode=topk runs
+// `ORDER BY temp DESC LIMIT 10` through the per-shard bounded-heap
+// route (peak result memory O(shards × 10)), mode=barrier runs the
+// same ordering without LIMIT — the materialise-then-sort path the
+// push-down replaces — and reads only the first 10 rows.
+func BenchmarkOrderedTopK(b *testing.B) {
+	const n = 100_000
+	for _, shards := range []int{1, 4, 8} {
+		_, tbl := prunedScanTable(b, shards, n)
+		run := func(src string) func(b *testing.B) {
+			pq, err := tbl.Prepare(src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					rows, err := pq.Execute()
+					if err != nil {
+						b.Fatal(err)
+					}
+					got := 0
+					for got < 10 && rows.Next() {
+						got++
+					}
+					if err := rows.Close(); err != nil {
+						b.Fatal(err)
+					}
+					if got != 10 {
+						b.Fatalf("answer %d, want 10", got)
+					}
+				}
+			}
+		}
+		b.Run(fmt.Sprintf("mode=topk/shards=%d", shards),
+			run("SELECT seq, temp FROM p ORDER BY temp DESC, seq DESC LIMIT 10"))
+		b.Run(fmt.Sprintf("mode=barrier/shards=%d", shards),
+			run("SELECT seq, temp FROM p ORDER BY temp DESC, seq DESC"))
+	}
+}

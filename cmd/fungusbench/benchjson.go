@@ -31,6 +31,11 @@ type BenchEntry struct {
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 	Runs        int     `json:"runs"`
+	// Metrics carries any custom b.ReportMetric units the benchmark
+	// emitted (e.g. the pruning counters "prunedsegs/op" and
+	// "skippedtuples/op" from BenchmarkPrunedScan), from the same
+	// repetition the ns/op minimum came from.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // BenchReport is the BENCH_*.json schema.
@@ -90,6 +95,7 @@ func parseBenchOutput(r io.Reader) (BenchReport, error) {
 		if ns <= e.NsPerOp {
 			e.NsPerOp = ns
 			e.BytesPerOp, e.AllocsPerOp = 0, 0
+			e.Metrics = nil
 			for _, metric := range strings.Split(m[4], "\t") {
 				f := strings.Fields(strings.TrimSpace(metric))
 				if len(f) != 2 {
@@ -104,6 +110,11 @@ func parseBenchOutput(r io.Reader) (BenchReport, error) {
 					e.BytesPerOp = v
 				case "allocs/op":
 					e.AllocsPerOp = v
+				default:
+					if e.Metrics == nil {
+						e.Metrics = map[string]float64{}
+					}
+					e.Metrics[f[1]] = v
 				}
 			}
 		}

@@ -13,6 +13,7 @@ cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkShardedTick/shards=1-8         	     494	    450496 ns/op	     944 B/op	      11 allocs/op
 BenchmarkShardedTick/shards=1-8         	     501	    440000 ns/op	     940 B/op	      11 allocs/op
 BenchmarkRecovery/shards=4-8            	      38	  13965574 ns/op	10544013 B/op	  140199 allocs/op
+BenchmarkPrunedScan/sel=0.001/shards=1/prune=pruned-8 	    4734	     74087 ns/op	        24.00 prunedsegs/op	     98304 skippedtuples/op
 PASS
 ok  	fungusdb	21.319s
 `
@@ -25,11 +26,11 @@ func TestParseBenchOutput(t *testing.T) {
 	if rep.GOOS != "linux" || rep.GOARCH != "amd64" {
 		t.Errorf("platform = %s/%s", rep.GOOS, rep.GOARCH)
 	}
-	if len(rep.Benchmarks) != 2 {
-		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
 	}
 	// Sorted by name, GOMAXPROCS suffix stripped, min ns/op kept.
-	tick := rep.Benchmarks[1]
+	tick := rep.Benchmarks[2]
 	if tick.Name != "BenchmarkShardedTick/shards=1" {
 		t.Errorf("name = %q (suffix not stripped?)", tick.Name)
 	}
@@ -38,6 +39,14 @@ func TestParseBenchOutput(t *testing.T) {
 	}
 	if tick.BytesPerOp != 940 || tick.AllocsPerOp != 11 {
 		t.Errorf("tick mem metrics = %+v", tick)
+	}
+	// Custom b.ReportMetric units ride along in Metrics.
+	pruned := rep.Benchmarks[0]
+	if pruned.Name != "BenchmarkPrunedScan/sel=0.001/shards=1/prune=pruned" {
+		t.Fatalf("pruned entry = %q", pruned.Name)
+	}
+	if pruned.Metrics["prunedsegs/op"] != 24 || pruned.Metrics["skippedtuples/op"] != 98304 {
+		t.Errorf("custom metrics = %+v", pruned.Metrics)
 	}
 }
 

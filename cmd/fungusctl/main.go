@@ -560,6 +560,9 @@ func (s *shell) stats(args []string) error {
 	fmt.Fprintln(s.out, tbl.Counters())
 	st := tbl.StoreStats()
 	fmt.Fprintf(s.out, "segments: %d live / %d total, %d dropped\n", st.SegsLive, st.SegsTotal, st.SegsDropped)
+	if st.SegsPruned > 0 {
+		fmt.Fprintf(s.out, "pruning: %d segments skipped (%d tuples never examined)\n", st.SegsPruned, st.TuplesSkipped)
+	}
 	if wi := tbl.WALInfo(); wi.Persistent {
 		fmt.Fprintf(s.out, "wal: %d shard logs, snapshot generation %d, sync mode %s\n",
 			wi.LogShards, wi.Generation, wi.SyncMode)

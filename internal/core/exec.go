@@ -3,9 +3,11 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync/atomic"
 
 	"fungusdb/internal/query"
+	"fungusdb/internal/storage"
 	"fungusdb/internal/tuple"
 )
 
@@ -32,6 +34,30 @@ var ErrNoContainer = errors.New("core: no such container")
 // hop on the streaming path. Combined with the 1-batch channel buffer
 // it bounds in-flight memory at roughly 2*shards*streamBatchSize rows.
 const streamBatchSize = 256
+
+// abortCheckEvery is how many scanned tuples a streaming producer lets
+// pass between polls of the done channel. Without it a producer whose
+// remaining tuples never match (no sends, so no natural done check)
+// would scan to the end of its shard even after the k-way merge has
+// emitted LIMIT rows or the caller closed the stream.
+const abortCheckEvery = 1024
+
+// topkPeakHook, when set (tests only), receives the total rows
+// retained across all per-shard top-k heaps just before the merge —
+// the ordered route's peak result-set footprint, O(shards × LIMIT).
+var topkPeakHook func(retained int)
+
+// pruneFn adapts the plan's compiled segment-prune checks to the
+// storage scan callback, nil when the plan (or the caller) prunes
+// nothing. *storage.ZoneMap satisfies query.ZoneView structurally, so
+// neither package imports the other.
+func pruneFn(plan *query.Plan, opt QueryOpts) func(*storage.ZoneMap) bool {
+	p := plan.Pruner()
+	if p == nil || opt.NoPrune {
+		return nil
+	}
+	return func(z *storage.ZoneMap) bool { return p.Skip(z) }
+}
 
 // PreparedQuery is a statement compiled against one table: parse and
 // validation already happened, so Execute only binds parameters and
@@ -163,10 +189,14 @@ func (t *Table) execPlan(plan *query.Plan, params []tuple.Value, opt QueryOpts) 
 		return t.execAsk(plan, params)
 	}
 	// Fold the parameters into the plan as literals once, so the
-	// per-tuple hot path below never resolves a placeholder.
+	// per-tuple hot path below never resolves a placeholder (a
+	// `LIMIT ?` value is type-checked and resolved here too).
 	if plan.NumParams() > 0 {
-		plan = plan.Bind(params)
-		params = nil
+		bound, err := plan.Bind(params)
+		if err != nil {
+			return nil, err
+		}
+		plan, params = bound, nil
 	}
 	switch {
 	case plan.Consume():
@@ -178,9 +208,16 @@ func (t *Table) execPlan(plan *query.Plan, params []tuple.Value, opt QueryOpts) 
 		// answer-set cap (QueryOpts.Limit bounds the tuples aggregated,
 		// unlike the SQL LIMIT, which caps output rows and is handled
 		// by the aggregator itself).
-		return t.execAggregate(plan, params)
+		return t.execAggregate(plan, params, opt)
 	case !plan.Aggregated() && !plan.Ordered() && opt.Distill == "" && !t.cfg.TouchOnRead:
 		return t.execStream(plan, params, opt)
+	case !plan.Aggregated() && plan.Ordered() && plan.Limit() > 0 &&
+		opt.Distill == "" && !t.cfg.TouchOnRead && opt.Limit == 0:
+		// Ordered + LIMIT without a reason to materialise: push the
+		// sort into per-shard bounded top-k heaps and merge k-way, so
+		// peak result memory is O(shards × LIMIT) instead of the whole
+		// matching set behind a sort barrier.
+		return t.execOrderedTopK(plan, params, opt)
 	default:
 		return t.execMaterial(plan, params, opt)
 	}
@@ -199,11 +236,12 @@ func (t *Table) execAsk(plan *query.Plan, params []tuple.Value) (*query.Rows, er
 }
 
 // matchShard collects up to limit clones of the tuples in shard i
-// matching the plan. The caller holds shard i's lock (read suffices).
-func (t *Table) matchShard(i int, plan *query.Plan, params []tuple.Value, limit int, scanned *int) ([]tuple.Tuple, error) {
+// matching the plan, skipping whole segments the plan's pruner rules
+// out. The caller holds shard i's lock (read suffices).
+func (t *Table) matchShard(i int, plan *query.Plan, params []tuple.Value, limit int, prune func(*storage.ZoneMap) bool, scanned *int) ([]tuple.Tuple, error) {
 	var out []tuple.Tuple
 	var matchErr error
-	t.store.ScanShard(i, func(tp *tuple.Tuple) bool {
+	t.store.ScanShardPruned(i, prune, func(tp *tuple.Tuple) bool {
 		*scanned++
 		ok, err := plan.Match(tp, params)
 		if err != nil {
@@ -244,6 +282,7 @@ func (t *Table) execStream(plan *query.Plan, params []tuple.Value, opt QueryOpts
 	}
 	done := make(chan struct{})
 	var scanned atomic.Int64
+	prune := pruneFn(plan, opt)
 	errCh := make(chan error, 1)
 	go func() {
 		errCh <- fanOut(n, n, func(i int) error {
@@ -252,6 +291,7 @@ func (t *Table) execStream(plan *query.Plan, params []tuple.Value, opt QueryOpts
 			defer t.shardMu[i].RUnlock()
 			batch := make([]tuple.Tuple, 0, streamBatchSize)
 			matched := 0
+			visited := 0
 			aborted := false
 			var innerErr error
 			send := func(b []tuple.Tuple) bool {
@@ -263,8 +303,23 @@ func (t *Table) execStream(plan *query.Plan, params []tuple.Value, opt QueryOpts
 					return false
 				}
 			}
-			t.store.ScanShard(i, func(tp *tuple.Tuple) bool {
+			t.store.ScanShardPruned(i, prune, func(tp *tuple.Tuple) bool {
 				scanned.Add(1)
+				// Poll for cancellation between sends: once the merge
+				// has emitted LIMIT rows (or the caller closed the
+				// stream), a shard mid-way through a matchless stretch
+				// must stop instead of scanning to its end. The yield
+				// keeps the consumer (who decides to cancel) runnable
+				// even when producers saturate every P.
+				if visited++; visited%abortCheckEvery == 0 {
+					select {
+					case <-done:
+						aborted = true
+						return false
+					default:
+					}
+					runtime.Gosched()
+				}
 				ok, err := plan.Match(tp, params)
 				if err != nil {
 					innerErr = err
@@ -324,17 +379,18 @@ func (t *Table) execStream(plan *query.Plan, params []tuple.Value, opt QueryOpts
 // materialising matches: one partial aggregator per shard, fed during
 // the parallel scan, merged in ascending shard order (deterministic
 // for a fixed shard count).
-func (t *Table) execAggregate(plan *query.Plan, params []tuple.Value) (*query.Rows, error) {
+func (t *Table) execAggregate(plan *query.Plan, params []tuple.Value, opt QueryOpts) (*query.Rows, error) {
 	n := t.store.NumShards()
 	base := plan.NewAggregator(params)
 	aggs := make([]*query.Aggregator, n)
 	scanned := make([]int, n)
+	prune := pruneFn(plan, opt)
 	err := fanOut(n, t.workers, func(i int) error {
 		agg := base.Fork()
 		t.shardMu[i].RLock()
 		defer t.shardMu[i].RUnlock()
 		var innerErr error
-		t.store.ScanShard(i, func(tp *tuple.Tuple) bool {
+		t.store.ScanShardPruned(i, prune, func(tp *tuple.Tuple) bool {
 			scanned[i]++
 			ok, err := plan.Match(tp, params)
 			if err != nil {
@@ -374,6 +430,74 @@ func (t *Table) execAggregate(plan *query.Plan, params []tuple.Value) (*query.Ro
 	return query.NewGridRows(g, query.Peek, total), nil
 }
 
+// execOrderedTopK answers an ordered, LIMIT-capped peek without a full
+// sort barrier: each shard folds its matches into a bounded heap of
+// k = LIMIT projected rows under that shard's read lock (with segment
+// pruning), and the per-shard survivors merge k-way in (ORDER BY
+// keys, ID) order — the exact total order the materialised path's
+// stable sort produces. Peak result memory is O(shards × k) no matter
+// how many tuples match.
+func (t *Table) execOrderedTopK(plan *query.Plan, params []tuple.Value, opt QueryOpts) (*query.Rows, error) {
+	n := t.store.NumShards()
+	prune := pruneFn(plan, opt)
+	tks := make([]*query.TopK, n)
+	scanned := make([]int, n)
+	err := fanOut(n, t.workers, func(i int) error {
+		tk := plan.NewTopK()
+		t.shardMu[i].RLock()
+		defer t.shardMu[i].RUnlock()
+		var innerErr error
+		t.store.ScanShardPruned(i, prune, func(tp *tuple.Tuple) bool {
+			scanned[i]++
+			ok, err := plan.Match(tp, params)
+			if err != nil {
+				innerErr = err
+				return false
+			}
+			if !ok {
+				return true
+			}
+			row, err := plan.Project(tp, params)
+			if err != nil {
+				innerErr = err
+				return false
+			}
+			tk.Add(row, tp.ID)
+			return true
+		})
+		if innerErr != nil {
+			return innerErr
+		}
+		if err := tk.Err(); err != nil {
+			return err
+		}
+		tks[i] = tk
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if topkPeakHook != nil {
+		retained := 0
+		for _, tk := range tks {
+			retained += tk.Len()
+		}
+		topkPeakHook(retained)
+	}
+	rows, err := plan.MergeTopK(tks)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	t.ctrs.Queries++
+	t.mu.Unlock()
+	total := 0
+	for _, s := range scanned {
+		total += s
+	}
+	return query.NewValueRows(plan.Cols(), plan.Mode(), rows, total), nil
+}
+
 // execMaterial is the barrier peek: collect the matching set like the
 // classical path (per-shard parallel scan merged by ID), apply
 // touch-on-read and distillation over it, then run the finishing
@@ -383,11 +507,12 @@ func (t *Table) execMaterial(plan *query.Plan, params []tuple.Value, opt QueryOp
 	n := t.store.NumShards()
 	parts := make([][]tuple.Tuple, n)
 	scanned := make([]int, n)
+	prune := pruneFn(plan, opt)
 	err := fanOut(n, t.workers, func(i int) error {
 		t.shardMu[i].RLock()
 		defer t.shardMu[i].RUnlock()
 		var err error
-		parts[i], err = t.matchShard(i, plan, params, opt.Limit, &scanned[i])
+		parts[i], err = t.matchShard(i, plan, params, opt.Limit, prune, &scanned[i])
 		return err
 	})
 	if err != nil {
@@ -463,9 +588,10 @@ func (t *Table) consumeCut(plan *query.Plan, params []tuple.Value, opt QueryOpts
 
 	parts := make([][]tuple.Tuple, n)
 	scanned := make([]int, n)
+	prune := pruneFn(plan, opt)
 	err = fanOut(n, t.workers, func(i int) error {
 		var err error
-		parts[i], err = t.matchShard(i, plan, params, opt.Limit, &scanned[i])
+		parts[i], err = t.matchShard(i, plan, params, opt.Limit, prune, &scanned[i])
 		return err
 	})
 	if err != nil {

@@ -33,7 +33,10 @@ import (
 
 // Extent is the view of a relation a fungus may touch. *storage.Store
 // implements it. Fungi must not insert; eviction of rotten tuples is the
-// engine's job so it can distill first.
+// engine's job so it can distill first. Update (and in-place Scan
+// mutation) may touch freshness and infection state only — attribute
+// values are summarised by the storage layer's zone maps, which this
+// interface deliberately gives no way to outdate.
 type Extent interface {
 	Len() int
 	Get(id tuple.ID) (tuple.Tuple, error)

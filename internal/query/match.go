@@ -1,0 +1,543 @@
+package query
+
+import (
+	"fmt"
+	"math"
+
+	"fungusdb/internal/tuple"
+)
+
+// This file lowers a bound expression tree into a chain of typed Go
+// closures: column offsets are resolved against the schema once at
+// compile time, and constant comparisons specialise on the operands'
+// tuple.Value kinds. The per-tuple hot path then runs without Expr
+// interface dispatch, without Env.Lookup map work, and — on the
+// specialised comparison forms — without boxing values at all.
+//
+// The compiled matcher is semantically identical to interpreting the
+// tree through Expr.Eval with a TupleEnv, including error text and the
+// point at which errors surface (per tuple, not at compile time); the
+// equivalence is property-tested in match_test.go.
+
+// matchFn evaluates the compiled predicate for one tuple.
+type matchFn func(tp *tuple.Tuple) (bool, error)
+
+// valFn evaluates one compiled sub-expression to a value.
+type valFn func(tp *tuple.Tuple) (tuple.Value, error)
+
+// colAcc is a schema-resolved column accessor.
+type colAcc struct {
+	kind tuple.Kind
+	idx  int   // attribute index, sys == 0 only
+	sys  uint8 // 0 = attribute, 1 = _t, 2 = _f, 3 = _id
+}
+
+// resolveCol resolves a column name once, at compile time. ok=false
+// reproduces the interpreter's unknown-column error lazily.
+func resolveCol(name string, schema *tuple.Schema) (colAcc, bool) {
+	switch name {
+	case tuple.SysTick:
+		return colAcc{kind: tuple.KindInt, sys: 1}, true
+	case tuple.SysFresh:
+		return colAcc{kind: tuple.KindFloat, sys: 2}, true
+	case tuple.SysID:
+		return colAcc{kind: tuple.KindInt, sys: 3}, true
+	}
+	if i := schema.Index(name); i >= 0 {
+		return colAcc{kind: schema.Column(i).Kind, idx: i}, true
+	}
+	return colAcc{}, false
+}
+
+func (c colAcc) value(tp *tuple.Tuple) tuple.Value {
+	switch c.sys {
+	case 1:
+		return tuple.Int(int64(tp.T))
+	case 2:
+		return tuple.Float(float64(tp.F))
+	case 3:
+		return tuple.Int(int64(tp.ID))
+	}
+	return tp.Attrs[c.idx]
+}
+
+// num returns the column as float64 for the numeric fast paths; only
+// valid when kind is INT or FLOAT.
+func (c colAcc) num(tp *tuple.Tuple) float64 {
+	switch c.sys {
+	case 1:
+		return float64(tp.T)
+	case 2:
+		return float64(tp.F)
+	case 3:
+		return float64(tp.ID)
+	}
+	v := tp.Attrs[c.idx]
+	if c.kind == tuple.KindInt {
+		return float64(v.AsInt())
+	}
+	return v.AsFloat()
+}
+
+// compileMatch lowers a predicate expression to a matchFn, including
+// the top-level "predicate yields X, want BOOL" guard.
+func compileMatch(e Expr, schema *tuple.Schema) matchFn {
+	if bf := compileBoolNode(e, schema); bf != nil {
+		return bf
+	}
+	vf := compileVal(e, schema)
+	return func(tp *tuple.Tuple) (bool, error) {
+		v, err := vf(tp)
+		if err != nil {
+			return false, err
+		}
+		if v.Kind() != tuple.KindBool {
+			return false, fmt.Errorf("query: predicate yields %s, want BOOL", v.Kind())
+		}
+		return v.AsBool(), nil
+	}
+}
+
+// compileBoolNode compiles nodes that statically yield BOOL, returning
+// nil for everything else (the caller falls back to the boxed path).
+func compileBoolNode(e Expr, schema *tuple.Schema) matchFn {
+	switch n := e.(type) {
+	case Bin:
+		switch n.Op {
+		case OpAnd, OpOr:
+			l := compileBoolOperand(n.L, schema, n.Op)
+			r := compileBoolOperand(n.R, schema, n.Op)
+			if n.Op == OpAnd {
+				return func(tp *tuple.Tuple) (bool, error) {
+					lb, err := l(tp)
+					if err != nil || !lb {
+						return false, err
+					}
+					return r(tp)
+				}
+			}
+			return func(tp *tuple.Tuple) (bool, error) {
+				lb, err := l(tp)
+				if err != nil || lb {
+					return lb, err
+				}
+				return r(tp)
+			}
+		case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+			return compileCmp(n, schema)
+		}
+	case Not:
+		if inner := compileBoolNode(n.X, schema); inner != nil {
+			return func(tp *tuple.Tuple) (bool, error) {
+				b, err := inner(tp)
+				if err != nil {
+					return false, err
+				}
+				return !b, nil
+			}
+		}
+		vf := compileVal(n.X, schema)
+		return func(tp *tuple.Tuple) (bool, error) {
+			v, err := vf(tp)
+			if err != nil {
+				return false, err
+			}
+			if v.Kind() != tuple.KindBool {
+				return false, fmt.Errorf("query: NOT needs BOOL, got %s", v.Kind())
+			}
+			return !v.AsBool(), nil
+		}
+	case Like:
+		return compileLike(n, schema)
+	case In:
+		return compileIn(n, schema)
+	case Lit:
+		if n.V.Kind() == tuple.KindBool {
+			b := n.V.AsBool()
+			return func(*tuple.Tuple) (bool, error) { return b, nil }
+		}
+	case Col:
+		if c, ok := resolveCol(n.Name, schema); ok && c.kind == tuple.KindBool {
+			return func(tp *tuple.Tuple) (bool, error) { return tp.Attrs[c.idx].AsBool(), nil }
+		}
+	}
+	return nil
+}
+
+// compileBoolOperand compiles one AND/OR operand with the logical
+// operators' per-tuple kind check.
+func compileBoolOperand(e Expr, schema *tuple.Schema, op BinOp) matchFn {
+	if bf := compileBoolNode(e, schema); bf != nil {
+		return bf
+	}
+	vf := compileVal(e, schema)
+	return func(tp *tuple.Tuple) (bool, error) {
+		v, err := vf(tp)
+		if err != nil {
+			return false, err
+		}
+		if v.Kind() != tuple.KindBool {
+			return false, fmt.Errorf("query: %s needs BOOL operands, got %s", op, v.Kind())
+		}
+		return v.AsBool(), nil
+	}
+}
+
+// cmpDecide turns a three-way comparison into the operator's boolean.
+func cmpDecide(op BinOp, cmp int) bool {
+	switch op {
+	case OpEq:
+		return cmp == 0
+	case OpNe:
+		return cmp != 0
+	case OpLt:
+		return cmp < 0
+	case OpLe:
+		return cmp <= 0
+	case OpGt:
+		return cmp > 0
+	case OpGe:
+		return cmp >= 0
+	}
+	return false
+}
+
+// compileCmp specialises a comparison on the operands' static shapes:
+// column-vs-literal and column-vs-column forms with known compatible
+// kinds compare unboxed; everything else evaluates both sides and goes
+// through tuple.Value.Compare, exactly like the interpreter.
+func compileCmp(n Bin, schema *tuple.Schema) matchFn {
+	op := n.Op
+	// col <op> lit and lit <op> col.
+	if c, ok := colRef(n.L, schema); ok {
+		if lit, isLit := n.R.(Lit); isLit {
+			if f := compileColLitCmp(c, op, lit.V, false); f != nil {
+				return f
+			}
+		}
+		if c2, ok2 := colRef(n.R, schema); ok2 {
+			return compileColColCmp(c, op, c2)
+		}
+	}
+	if lit, isLit := n.L.(Lit); isLit {
+		if c, ok := colRef(n.R, schema); ok {
+			if f := compileColLitCmp(c, flipCmp(op), lit.V, true); f != nil {
+				return f
+			}
+		}
+	}
+	lf := compileVal(n.L, schema)
+	rf := compileVal(n.R, schema)
+	return func(tp *tuple.Tuple) (bool, error) {
+		lv, err := lf(tp)
+		if err != nil {
+			return false, err
+		}
+		rv, err := rf(tp)
+		if err != nil {
+			return false, err
+		}
+		cmp, ok := lv.Compare(rv)
+		if !ok {
+			return false, fmt.Errorf("query: cannot compare %s and %s", lv.Kind(), rv.Kind())
+		}
+		return cmpDecide(op, cmp), nil
+	}
+}
+
+// colRef resolves e when it is a plain column reference.
+func colRef(e Expr, schema *tuple.Schema) (colAcc, bool) {
+	c, ok := e.(Col)
+	if !ok {
+		return colAcc{}, false
+	}
+	return resolveCol(c.Name, schema)
+}
+
+// numericKind reports whether k participates in numeric comparison.
+func numericKind(k tuple.Kind) bool { return k == tuple.KindInt || k == tuple.KindFloat }
+
+// compileColLitCmp builds the unboxed column-vs-constant comparison,
+// or nil when the kinds need the generic path. swap marks the source
+// order as literal-first (the caller mirrored op with flipCmp), which
+// only matters for error-message operand order.
+func compileColLitCmp(c colAcc, op BinOp, lit tuple.Value, swap bool) matchFn {
+	kinds := [2]tuple.Kind{c.kind, lit.Kind()}
+	if swap {
+		kinds[0], kinds[1] = kinds[1], kinds[0]
+	}
+	incomparable := func() error {
+		return fmt.Errorf("query: cannot compare %s and %s", kinds[0], kinds[1])
+	}
+	switch {
+	case c.kind == tuple.KindInt && c.sys == 0 && lit.Kind() == tuple.KindInt:
+		// Compare itself converts both sides to float64 (Numeric), so
+		// mirror that to stay bit-identical even beyond 2^53.
+		b := float64(lit.AsInt())
+		return func(tp *tuple.Tuple) (bool, error) {
+			return cmpDecide(op, cmpFloat(float64(tp.Attrs[c.idx].AsInt()), b)), nil
+		}
+	case numericKind(c.kind) && numericKind(lit.Kind()):
+		b, _ := lit.Numeric()
+		if math.IsNaN(b) {
+			return func(*tuple.Tuple) (bool, error) { return false, incomparable() }
+		}
+		return func(tp *tuple.Tuple) (bool, error) {
+			a := c.num(tp)
+			if math.IsNaN(a) {
+				return false, incomparable()
+			}
+			return cmpDecide(op, cmpFloat(a, b)), nil
+		}
+	case c.kind == tuple.KindString && lit.Kind() == tuple.KindString:
+		s := lit.AsString()
+		return func(tp *tuple.Tuple) (bool, error) {
+			return cmpDecide(op, cmpString(tp.Attrs[c.idx].AsString(), s)), nil
+		}
+	case c.kind == tuple.KindBool && lit.Kind() == tuple.KindBool:
+		b := lit.AsBool()
+		return func(tp *tuple.Tuple) (bool, error) {
+			return cmpDecide(op, cmpBool(tp.Attrs[c.idx].AsBool(), b)), nil
+		}
+	default:
+		// Statically incomparable kinds: reproduce the interpreter's
+		// per-tuple error.
+		return func(*tuple.Tuple) (bool, error) { return false, incomparable() }
+	}
+}
+
+// compileColColCmp builds the unboxed column-vs-column comparison.
+func compileColColCmp(l colAcc, op BinOp, r colAcc) matchFn {
+	switch {
+	case numericKind(l.kind) && numericKind(r.kind):
+		return func(tp *tuple.Tuple) (bool, error) {
+			a, b := l.num(tp), r.num(tp)
+			if math.IsNaN(a) || math.IsNaN(b) {
+				return false, fmt.Errorf("query: cannot compare %s and %s", l.kind, r.kind)
+			}
+			return cmpDecide(op, cmpFloat(a, b)), nil
+		}
+	case l.kind == tuple.KindString && r.kind == tuple.KindString:
+		return func(tp *tuple.Tuple) (bool, error) {
+			return cmpDecide(op, cmpString(tp.Attrs[l.idx].AsString(), tp.Attrs[r.idx].AsString())), nil
+		}
+	case l.kind == tuple.KindBool && r.kind == tuple.KindBool:
+		return func(tp *tuple.Tuple) (bool, error) {
+			return cmpDecide(op, cmpBool(tp.Attrs[l.idx].AsBool(), tp.Attrs[r.idx].AsBool())), nil
+		}
+	}
+	kinds := [2]tuple.Kind{l.kind, r.kind}
+	return func(*tuple.Tuple) (bool, error) {
+		return false, fmt.Errorf("query: cannot compare %s and %s", kinds[0], kinds[1])
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func cmpString(a, b string) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func cmpBool(a, b bool) int {
+	switch {
+	case !a && b:
+		return -1
+	case a && !b:
+		return 1
+	}
+	return 0
+}
+
+// compileLike lowers LIKE with the pattern pre-evaluated when literal.
+func compileLike(n Like, schema *tuple.Schema) matchFn {
+	xf := compileVal(n.X, schema)
+	if lit, ok := n.Pattern.(Lit); ok && lit.V.Kind() == tuple.KindString {
+		pat := lit.V.AsString()
+		return func(tp *tuple.Tuple) (bool, error) {
+			xv, err := xf(tp)
+			if err != nil {
+				return false, err
+			}
+			if xv.Kind() != tuple.KindString {
+				return false, fmt.Errorf("query: LIKE needs STRING operands, got %s and %s", xv.Kind(), tuple.KindString)
+			}
+			return likeMatch(xv.AsString(), pat), nil
+		}
+	}
+	pf := compileVal(n.Pattern, schema)
+	return func(tp *tuple.Tuple) (bool, error) {
+		xv, err := xf(tp)
+		if err != nil {
+			return false, err
+		}
+		pv, err := pf(tp)
+		if err != nil {
+			return false, err
+		}
+		if xv.Kind() != tuple.KindString || pv.Kind() != tuple.KindString {
+			return false, fmt.Errorf("query: LIKE needs STRING operands, got %s and %s", xv.Kind(), pv.Kind())
+		}
+		return likeMatch(xv.AsString(), pv.AsString()), nil
+	}
+}
+
+// compileIn lowers IN. All-literal lists against a known column kind
+// compile to a hash-set probe (numeric values key by their float64
+// image, matching Compare's cross-kind equality); everything else
+// walks the compiled list exactly like the interpreter.
+func compileIn(n In, schema *tuple.Schema) matchFn {
+	if c, ok := colRef(n.X, schema); ok {
+		if allLits(n.List) {
+			switch {
+			case numericKind(c.kind):
+				set := make(map[float64]struct{}, len(n.List))
+				for _, it := range n.List {
+					if f, ok := it.(Lit).V.Numeric(); ok && !math.IsNaN(f) {
+						set[f] = struct{}{}
+					}
+				}
+				return func(tp *tuple.Tuple) (bool, error) {
+					a := c.num(tp)
+					_, hit := set[a] // NaN probes never hit, matching Compare
+					return hit, nil
+				}
+			case c.kind == tuple.KindString:
+				set := make(map[string]struct{}, len(n.List))
+				for _, it := range n.List {
+					if v := it.(Lit).V; v.Kind() == tuple.KindString {
+						set[v.AsString()] = struct{}{}
+					}
+				}
+				return func(tp *tuple.Tuple) (bool, error) {
+					_, hit := set[tp.Attrs[c.idx].AsString()]
+					return hit, nil
+				}
+			}
+		}
+	}
+	xf := compileVal(n.X, schema)
+	fns := make([]valFn, len(n.List))
+	for i, it := range n.List {
+		fns[i] = compileVal(it, schema)
+	}
+	return func(tp *tuple.Tuple) (bool, error) {
+		xv, err := xf(tp)
+		if err != nil {
+			return false, err
+		}
+		for _, f := range fns {
+			v, err := f(tp)
+			if err != nil {
+				return false, err
+			}
+			if cmp, ok := xv.Compare(v); ok && cmp == 0 {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+}
+
+func allLits(list []Expr) bool {
+	for _, e := range list {
+		if _, ok := e.(Lit); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// compileVal lowers any expression to a value closure. Every node kind
+// is supported; semantic errors surface per tuple with the
+// interpreter's exact messages.
+func compileVal(e Expr, schema *tuple.Schema) valFn {
+	switch n := e.(type) {
+	case Lit:
+		v := n.V
+		return func(*tuple.Tuple) (tuple.Value, error) { return v, nil }
+	case Col:
+		c, ok := resolveCol(n.Name, schema)
+		if !ok {
+			err := fmt.Errorf("query: unknown column %q", n.Name)
+			return func(*tuple.Tuple) (tuple.Value, error) { return tuple.Value{}, err }
+		}
+		if c.sys == 0 {
+			idx := c.idx
+			return func(tp *tuple.Tuple) (tuple.Value, error) { return tp.Attrs[idx], nil }
+		}
+		return func(tp *tuple.Tuple) (tuple.Value, error) { return c.value(tp), nil }
+	case Bin:
+		switch n.Op {
+		case OpAnd, OpOr, OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+			bf := compileBoolNode(n, schema)
+			return func(tp *tuple.Tuple) (tuple.Value, error) {
+				b, err := bf(tp)
+				if err != nil {
+					return tuple.Value{}, err
+				}
+				return tuple.Bool(b), nil
+			}
+		}
+		lf := compileVal(n.L, schema)
+		rf := compileVal(n.R, schema)
+		op := n.Op
+		return func(tp *tuple.Tuple) (tuple.Value, error) {
+			lv, err := lf(tp)
+			if err != nil {
+				return tuple.Value{}, err
+			}
+			rv, err := rf(tp)
+			if err != nil {
+				return tuple.Value{}, err
+			}
+			return evalArith(op, lv, rv)
+		}
+	case Not, Like, In:
+		bf := compileBoolNode(e, schema)
+		return func(tp *tuple.Tuple) (tuple.Value, error) {
+			b, err := bf(tp)
+			if err != nil {
+				return tuple.Value{}, err
+			}
+			return tuple.Bool(b), nil
+		}
+	case Neg:
+		xf := compileVal(n.X, schema)
+		return func(tp *tuple.Tuple) (tuple.Value, error) {
+			v, err := xf(tp)
+			if err != nil {
+				return tuple.Value{}, err
+			}
+			switch v.Kind() {
+			case tuple.KindInt:
+				return tuple.Int(-v.AsInt()), nil
+			case tuple.KindFloat:
+				return tuple.Float(-v.AsFloat()), nil
+			}
+			return tuple.Value{}, fmt.Errorf("query: unary minus needs numeric, got %s", v.Kind())
+		}
+	case Param:
+		idx := n.Index
+		err := fmt.Errorf("query: parameter ?%d is not bound", idx+1)
+		return func(*tuple.Tuple) (tuple.Value, error) { return tuple.Value{}, err }
+	}
+	// Unknown node types evaluate through the interpreter with a
+	// tuple-scoped env, preserving open extensibility of Expr.
+	return func(tp *tuple.Tuple) (tuple.Value, error) {
+		return e.Eval(TupleEnv{Schema: schema, Tuple: tp})
+	}
+}

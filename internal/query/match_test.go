@@ -1,0 +1,146 @@
+package query
+
+import (
+	"fmt"
+	"testing"
+
+	"fungusdb/internal/clock"
+	"fungusdb/internal/tuple"
+)
+
+var matchSchema = tuple.MustSchema(
+	tuple.Column{Name: "k", Kind: tuple.KindInt},
+	tuple.Column{Name: "v", Kind: tuple.KindFloat},
+	tuple.Column{Name: "name", Kind: tuple.KindString},
+	tuple.Column{Name: "ok", Kind: tuple.KindBool},
+)
+
+func matchTuples() []tuple.Tuple {
+	var out []tuple.Tuple
+	names := []string{"alpha", "beta", "gamma", "", "a%b_c"}
+	for i := 0; i < 25; i++ {
+		out = append(out, tuple.Tuple{
+			ID: tuple.ID(i),
+			T:  clock.Tick(i / 5),
+			F:  tuple.Freshness(1.0 - float64(i)*0.03),
+			Attrs: []tuple.Value{
+				tuple.Int(int64(i - 5)),
+				tuple.Float(float64(i) * 1.5),
+				tuple.String_(names[i%len(names)]),
+				tuple.Bool(i%3 == 0),
+			},
+		})
+	}
+	return out
+}
+
+// matchCorpus is every expression shape the compiler specialises plus
+// the error paths whose messages must match the interpreter exactly.
+var matchCorpus = []string{
+	"",
+	"true",
+	"false",
+	"k > 3",
+	"k >= 3 AND k <= 10",
+	"3 < k",
+	"3.5 >= v",
+	"v = 7.5",
+	"v != 7.5",
+	"k = v",
+	"v = k",
+	"name = \"beta\"",
+	"\"beta\" != name",
+	"name < \"b\"",
+	"name LIKE \"%a\"",
+	"name LIKE \"a\\%b%\"",
+	"name NOT LIKE \"%a%\"",
+	"ok",
+	"ok = true",
+	"NOT ok",
+	"ok AND k > 0",
+	"ok OR v < 3.0",
+	"k IN (1, 2, 3)",
+	"k IN (1.0, 2, 19)",
+	"name IN (\"alpha\", \"gamma\")",
+	"name NOT IN (\"alpha\")",
+	"k IN (v, 3)",
+	"k BETWEEN 2 AND 8",
+	"k + 1 > v - 0.5",
+	"k * 2 = 4",
+	"k % 3 = 0",
+	"-k > 2",
+	"_t >= 2",
+	"_f < 0.5",
+	"_id BETWEEN 5 AND 9",
+	"_id % 2 = 0 AND v > 1.0",
+	"(k > 0 OR ok) AND NOT (name = \"beta\")",
+	// Error paths: type mismatches surface per tuple with pinned text.
+	"name > 3",
+	"3 > name",
+	"ok > 1",
+	"k AND ok",
+	"ok AND k",
+	"NOT k",
+	"name LIKE 3",
+	"k LIKE \"a%\"",
+	"-name > 0",
+	"k / 0 = 1",
+	"k % 0 = 1",
+	"name + name = \"x\"",
+	"k",
+	"k + 1",
+	"name",
+}
+
+func TestCompiledMatcherEquivalence(t *testing.T) {
+	tuples := matchTuples()
+	for _, src := range matchCorpus {
+		e, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%q: parse: %v", src, err)
+		}
+		compiled := compileMatch(e, matchSchema)
+		for i := range tuples {
+			tp := &tuples[i]
+			wantOK, wantErr := interpMatch(e, tp)
+			gotOK, gotErr := compiled(tp)
+			if wantOK != gotOK {
+				t.Errorf("%q on tuple %d: compiled=%v interpreted=%v", src, i, gotOK, wantOK)
+			}
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Errorf("%q on tuple %d: compiled err=%v interpreted err=%v", src, i, gotErr, wantErr)
+			} else if wantErr != nil && wantErr.Error() != gotErr.Error() {
+				t.Errorf("%q on tuple %d:\n  compiled:    %v\n  interpreted: %v", src, i, gotErr, wantErr)
+			}
+		}
+	}
+}
+
+// interpMatch is the reference: the expression tree walked through
+// Expr.Eval with a TupleEnv, exactly what Predicate.Match did before
+// compilation existed.
+func interpMatch(e Expr, tp *tuple.Tuple) (bool, error) {
+	v, err := e.Eval(TupleEnv{Schema: matchSchema, Tuple: tp})
+	if err != nil {
+		return false, err
+	}
+	if v.Kind() != tuple.KindBool {
+		return false, fmt.Errorf("query: predicate yields %s, want BOOL", v.Kind())
+	}
+	return v.AsBool(), nil
+}
+
+func TestCompiledMatcherUnknownColumn(t *testing.T) {
+	// Schema checks normally reject unknown columns at compile time;
+	// the closure compiler must still reproduce the interpreter's
+	// error if handed one (predicates built via FromExpr on unchecked
+	// trees).
+	e := Bin{Op: OpGt, L: Col{Name: "nosuch"}, R: Lit{V: tuple.Int(1)}}
+	f := compileMatch(e, matchSchema)
+	tp := matchTuples()[0]
+	_, gotErr := f(&tp)
+	_, wantErr := interpMatch(e, &tp)
+	if gotErr == nil || wantErr == nil || gotErr.Error() != wantErr.Error() {
+		t.Errorf("compiled=%v interpreted=%v", gotErr, wantErr)
+	}
+}

@@ -31,6 +31,17 @@ type Plan struct {
 	params  int
 	agg     bool
 	raw     bool // no projection stage: Execute yields whole tuples
+
+	// Compiled execution state. match is the WHERE clause lowered to
+	// typed closures; pruner is its conjuncts lowered to zone-map
+	// checks. Both are compiled when the plan (or its Bind derivative)
+	// has no unresolved placeholders left. order is the ORDER BY list
+	// resolved to output-column indices at compile time.
+	match      matchFn
+	pruner     *Pruner
+	order      []orderIdx
+	limit      int // resolved LIMIT (0 = unlimited)
+	limitParam int // `LIMIT ?` placeholder index, -1 when literal
 }
 
 // Plan compiles the statement against schema. All column references,
@@ -69,21 +80,47 @@ func (s *Statement) Plan(schema *tuple.Schema) (*Plan, error) {
 	for i, t := range targets {
 		cols[i] = t.Alias
 	}
-	return &Plan{
-		schema:  schema,
-		src:     s.src,
-		mode:    mode,
-		where:   stmt.Where,
-		stmt:    stmt,
-		targets: targets,
-		cols:    cols,
-		params:  stmt.Params,
-		agg:     agg,
-	}, nil
+	p := &Plan{
+		schema:     schema,
+		src:        s.src,
+		mode:       mode,
+		where:      stmt.Where,
+		stmt:       stmt,
+		targets:    targets,
+		cols:       cols,
+		params:     stmt.Params,
+		agg:        agg,
+		limit:      stmt.Limit,
+		limitParam: stmt.LimitParam,
+	}
+	// Resolve ORDER BY keys against the output columns once, here —
+	// a misspelt sort column is a compile error, not a per-execute
+	// surprise.
+	if len(stmt.OrderBy) > 0 {
+		order, err := resolveOrderKeys(stmt.OrderBy, cols)
+		if err != nil {
+			return nil, err
+		}
+		p.order = order
+	}
+	if stmt.Params == 0 {
+		p.compileExec()
+	}
+	return p, nil
+}
+
+// compileExec lowers the (fully bound) WHERE clause into the compiled
+// matcher and the segment pruner.
+func (p *Plan) compileExec() {
+	if p.where == nil {
+		return
+	}
+	p.match = compileMatch(p.where, p.schema)
+	p.pruner = compilePrune(p.where, p.schema)
 }
 
 func planAsk(ask *AskStmt, schema *tuple.Schema, src string) (*Plan, error) {
-	p := &Plan{schema: schema, src: src, mode: Peek, ask: ask, params: ask.Params}
+	p := &Plan{schema: schema, src: src, mode: Peek, ask: ask, params: ask.Params, limitParam: -1}
 	if ask.Op != AskCount {
 		if schema.Index(ask.Col) < 0 {
 			return nil, fmt.Errorf("query: unknown column %q (schema: %s)", ask.Col, schema)
@@ -139,11 +176,14 @@ func coerceToColumn(schema *tuple.Schema, col, raw string) (tuple.Value, error) 
 // prepared path.
 func PlanPredicate(pred *Predicate, mode Mode) *Plan {
 	return &Plan{
-		schema: pred.schema,
-		src:    pred.src,
-		mode:   mode,
-		where:  pred.expr,
-		raw:    true,
+		schema:     pred.schema,
+		src:        pred.src,
+		mode:       mode,
+		where:      pred.expr,
+		raw:        true,
+		match:      pred.match,
+		pruner:     pred.pruner,
+		limitParam: -1,
 	}
 }
 
@@ -171,13 +211,13 @@ func (p *Plan) Raw() bool { return p.raw }
 // first row can be emitted.
 func (p *Plan) Ordered() bool { return p.stmt != nil && len(p.stmt.OrderBy) > 0 }
 
-// Limit returns the statement LIMIT (0 = unlimited).
-func (p *Plan) Limit() int {
-	if p.stmt == nil {
-		return 0
-	}
-	return p.stmt.Limit
-}
+// Limit returns the resolved LIMIT (0 = unlimited). For `LIMIT ?`
+// plans the value is known only on the plan Bind returns.
+func (p *Plan) Limit() int { return p.limit }
+
+// Pruner returns the predicate's compiled segment-prune checks, nil
+// when no conjunct is prunable (or placeholders are still unbound).
+func (p *Plan) Pruner() *Pruner { return p.pruner }
 
 // IsAsk reports whether the plan answers a knowledge-container
 // question rather than scanning the extent.
@@ -210,16 +250,38 @@ func (p *Plan) BindCheck(params []tuple.Value) error {
 
 // Bind substitutes the parameters into the plan's expressions as
 // literals, returning a derived zero-parameter plan that evaluates at
-// literal speed (no per-tuple parameter resolution). The caller must
-// have BindCheck-ed params first; plans without placeholders return
-// themselves. The original plan is untouched — one cached Plan serves
-// any number of concurrent bindings.
-func (p *Plan) Bind(params []tuple.Value) *Plan {
+// literal speed (no per-tuple parameter resolution): the bound WHERE
+// clause is re-lowered into compiled closures and prune checks, and a
+// `LIMIT ?` placeholder resolves (and type-checks) here. The caller
+// must have BindCheck-ed params first; plans without placeholders
+// return themselves. The original plan is untouched — one cached Plan
+// serves any number of concurrent bindings.
+func (p *Plan) Bind(params []tuple.Value) (*Plan, error) {
 	if p.params == 0 {
-		return p
+		return p, nil
 	}
 	q := *p
 	q.params = 0
+	if p.limitParam >= 0 {
+		v := params[p.limitParam]
+		if v.Kind() != tuple.KindInt {
+			return nil, fmt.Errorf("query: LIMIT wants INT, got %s", v.Kind())
+		}
+		n := v.AsInt()
+		if n < 0 {
+			return nil, fmt.Errorf("query: LIMIT must be >= 0, got %d", n)
+		}
+		q.limit = int(n)
+		q.limitParam = -1
+		if p.stmt != nil {
+			// The finishing stages (orderAndLimit, the aggregator)
+			// read the statement's Limit; give the bound plan its own
+			// copy so the cached plan stays pristine.
+			stmt := *p.stmt
+			stmt.Limit = q.limit
+			q.stmt = &stmt
+		}
+	}
 	if p.where != nil {
 		q.where = bindExpr(p.where, params)
 	}
@@ -233,13 +295,19 @@ func (p *Plan) Bind(params []tuple.Value) *Plan {
 		}
 		q.targets = targets
 	}
-	return &q
+	q.compileExec()
+	return &q, nil
 }
 
-// Match evaluates the plan's WHERE clause for one tuple.
+// Match evaluates the plan's WHERE clause for one tuple. Fully bound
+// plans run the compiled closure chain; the expression tree is only
+// interpreted when unresolved placeholders force the Env path.
 func (p *Plan) Match(tp *tuple.Tuple, params []tuple.Value) (bool, error) {
 	if p.where == nil {
 		return true, nil
+	}
+	if p.match != nil && len(params) == 0 {
+		return p.match(tp)
 	}
 	v, err := p.where.Eval(TupleEnv{Schema: p.schema, Tuple: tp, Params: params})
 	if err != nil {

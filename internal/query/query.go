@@ -27,11 +27,15 @@ func (m Mode) String() string {
 }
 
 // Predicate is a WHERE expression validated against one schema. It is
-// immutable and safe for concurrent use.
+// immutable and safe for concurrent use. Compilation also lowers the
+// expression into the typed closure chain and segment prune checks the
+// engine's scan paths use (see match.go, prune.go).
 type Predicate struct {
 	expr   Expr
 	schema *tuple.Schema
 	src    string
+	match  matchFn
+	pruner *Pruner
 }
 
 // Compile parses src and checks every column reference against schema.
@@ -44,7 +48,17 @@ func Compile(src string, schema *tuple.Schema) (*Predicate, error) {
 	if err := checkCols(e, schema); err != nil {
 		return nil, err
 	}
-	return &Predicate{expr: e, schema: schema, src: src}, nil
+	return newPredicate(e, schema, src), nil
+}
+
+func newPredicate(e Expr, schema *tuple.Schema, src string) *Predicate {
+	return &Predicate{
+		expr:   e,
+		schema: schema,
+		src:    src,
+		match:  compileMatch(e, schema),
+		pruner: compilePrune(e, schema),
+	}
 }
 
 // MustCompile is Compile that panics on error.
@@ -66,7 +80,7 @@ func FromExpr(e Expr, schema *tuple.Schema) (*Predicate, error) {
 	if err := checkCols(e, schema); err != nil {
 		return nil, err
 	}
-	return &Predicate{expr: e, schema: schema, src: e.String()}, nil
+	return newPredicate(e, schema, e.String()), nil
 }
 
 func checkCols(e Expr, schema *tuple.Schema) error {
@@ -108,6 +122,9 @@ func checkCols(e Expr, schema *tuple.Schema) error {
 // Match evaluates the predicate for one tuple. Non-boolean results are
 // a type error.
 func (p *Predicate) Match(tp *tuple.Tuple) (bool, error) {
+	if p.match != nil {
+		return p.match(tp)
+	}
 	v, err := p.expr.Eval(TupleEnv{Schema: p.schema, Tuple: tp})
 	if err != nil {
 		return false, err

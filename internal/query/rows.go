@@ -247,7 +247,15 @@ func (s *streamSource) next(r *Rows) bool {
 	tp := &s.heads[best][s.idx[best]]
 	s.idx[best]++
 	if s.idx[best] == len(s.heads[best]) {
-		s.refill(best)
+		if s.limit == 0 || s.emitted+1 < s.limit {
+			s.refill(best)
+		} else {
+			// This emission reaches the limit: the merge will never
+			// need another batch, so don't block on a producer that
+			// may be mid-way through a long matchless stretch — the
+			// next call shuts the stream down and cancels them.
+			s.heads[best] = nil
+		}
 	}
 	if s.project != nil {
 		vals, err := s.project(tp)

@@ -14,7 +14,7 @@ import (
 //
 //	SELECT [CONSUME] <targets> FROM <table>
 //	       [WHERE <expr>] [GROUP BY <cols>]
-//	       [ORDER BY <col> [ASC|DESC], ...] [LIMIT n]
+//	       [ORDER BY <col> [ASC|DESC], ...] [LIMIT n | LIMIT ?]
 //
 // Targets are '*', expressions, or aggregate calls COUNT(*) /
 // COUNT(expr) / SUM / AVG / MIN / MAX (expr), optionally aliased with
@@ -28,7 +28,11 @@ type SelectStmt struct {
 	GroupBy []string
 	OrderBy []OrderKey
 	Limit   int // 0 = unlimited
-	Params  int // number of `?` placeholders, in parse order
+	// LimitParam is the placeholder index of a `LIMIT ?`, -1 when the
+	// limit is a literal (or absent). The bound value is type-checked
+	// (INT, non-negative) at Plan.Bind time.
+	LimitParam int
+	Params     int // number of `?` placeholders, in parse order
 }
 
 // AggKind enumerates aggregate functions.
@@ -81,7 +85,7 @@ func ParseSelect(src string) (*SelectStmt, error) {
 	if !p.eatKeyword("SELECT") {
 		return nil, fmt.Errorf("query: statement must start with SELECT")
 	}
-	stmt := &SelectStmt{}
+	stmt := &SelectStmt{LimitParam: -1}
 	if p.eatKeyword("CONSUME") {
 		stmt.Consume = true
 	}
@@ -151,15 +155,21 @@ func ParseSelect(src string) (*SelectStmt, error) {
 		}
 	}
 	if p.eatKeyword("LIMIT") {
-		n := p.next()
-		if n.kind != tokInt {
-			return nil, fmt.Errorf("query: LIMIT wants an integer at %d", n.pos)
+		if p.peek().kind == tokQMark {
+			p.next()
+			stmt.LimitParam = p.params
+			p.params++
+		} else {
+			n := p.next()
+			if n.kind != tokInt {
+				return nil, fmt.Errorf("query: LIMIT wants an integer at %d", n.pos)
+			}
+			v, err := strconv.Atoi(n.text)
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("query: bad LIMIT %q", n.text)
+			}
+			stmt.Limit = v
 		}
-		v, err := strconv.Atoi(n.text)
-		if err != nil || v < 0 {
-			return nil, fmt.Errorf("query: bad LIMIT %q", n.text)
-		}
-		stmt.Limit = v
 	}
 	if t := p.peek(); t.kind != tokEOF {
 		return nil, fmt.Errorf("query: unexpected %q at %d", t.text, t.pos)
@@ -426,35 +436,23 @@ func sortGridByKeys(g *Grid, keyIdx []int) {
 
 func orderAndLimit(g *Grid, stmt *SelectStmt) error {
 	if len(stmt.OrderBy) > 0 {
-		idx := make([]int, len(stmt.OrderBy))
-		for i, key := range stmt.OrderBy {
-			idx[i] = -1
-			for j, c := range g.Cols {
-				if c == key.Col {
-					idx[i] = j
-				}
-			}
-			if idx[i] < 0 {
-				return fmt.Errorf("query: ORDER BY %q is not an output column (%v)", key.Col, g.Cols)
-			}
+		keys, err := resolveOrderKeys(stmt.OrderBy, g.Cols)
+		if err != nil {
+			return err
 		}
+		// Stable sort through the same key comparison the top-k
+		// push-down uses: rows arrive in ID order, so stability makes
+		// the total order (keys, ID) — identical to the heaps'.
 		var sortErr error
 		sort.SliceStable(g.Rows, func(a, b int) bool {
-			for i, key := range stmt.OrderBy {
-				cmp, ok := g.Rows[a][idx[i]].Compare(g.Rows[b][idx[i]])
-				if !ok {
-					sortErr = fmt.Errorf("query: ORDER BY %q over incomparable kinds", key.Col)
-					return false
+			cmp, err := compareOrderKeys(g.Rows[a], g.Rows[b], keys)
+			if err != nil {
+				if sortErr == nil {
+					sortErr = err
 				}
-				if cmp == 0 {
-					continue
-				}
-				if key.Desc {
-					return cmp > 0
-				}
-				return cmp < 0
+				return false
 			}
-			return false
+			return cmp < 0
 		})
 		if sortErr != nil {
 			return sortErr

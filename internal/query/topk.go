@@ -1,0 +1,154 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"fungusdb/internal/sketch"
+	"fungusdb/internal/tuple"
+)
+
+// This file implements the ORDER BY top-k push-down: instead of
+// materialising every matching tuple behind a sort barrier, each shard
+// folds its matches into a bounded heap of k = LIMIT projected rows,
+// and the engine merges the per-shard survivors — peak result memory
+// O(shards × k) regardless of how many tuples match.
+//
+// Ordering is (ORDER BY keys, tuple ID ascending), which is exactly
+// the total order the materialised path produces: its rows arrive in
+// global ID order and go through a stable sort on the keys.
+
+// orderIdx is one ORDER BY key resolved to an output-column index at
+// plan compile time.
+type orderIdx struct {
+	col  string
+	idx  int
+	desc bool
+}
+
+// resolveOrderKeys resolves ORDER BY columns against the output
+// columns (last match wins, matching historical behaviour). It is the
+// single resolver behind Plan compilation and the raw Execute path, so
+// the two cannot drift.
+func resolveOrderKeys(orderBy []OrderKey, cols []string) ([]orderIdx, error) {
+	out := make([]orderIdx, len(orderBy))
+	for i, key := range orderBy {
+		idx := -1
+		for j, c := range cols {
+			if c == key.Col {
+				idx = j
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("query: ORDER BY %q is not an output column (%v)", key.Col, cols)
+		}
+		out[i] = orderIdx{col: key.Col, idx: idx, desc: key.Desc}
+	}
+	return out, nil
+}
+
+// compareOrderKeys orders two rows by the resolved keys (DESC keys
+// reversed), returning 0 on a full tie; both the sort barrier and the
+// top-k heaps order through it, which is what makes their outputs
+// byte-identical. err reports the first incomparable key pair.
+func compareOrderKeys(a, b []tuple.Value, keys []orderIdx) (int, error) {
+	for _, k := range keys {
+		cmp, ok := a[k.idx].Compare(b[k.idx])
+		if !ok {
+			return 0, fmt.Errorf("query: ORDER BY %q over incomparable kinds", k.col)
+		}
+		if cmp == 0 {
+			continue
+		}
+		if k.desc {
+			return -cmp, nil
+		}
+		return cmp, nil
+	}
+	return 0, nil
+}
+
+// topkRow is one candidate row plus the ID tie-break.
+type topkRow struct {
+	vals []tuple.Value
+	id   tuple.ID
+}
+
+// TopK accumulates the best k projected rows of one shard. Not safe
+// for concurrent use; run one per shard and merge with MergeTopK.
+type TopK struct {
+	plan *Plan
+	h    *sketch.BoundedHeap[topkRow]
+	err  error
+}
+
+// NewTopK returns an empty per-shard collector. The plan must be
+// ordered with a positive LIMIT (the engine routes only such plans
+// here).
+func (p *Plan) NewTopK() *TopK {
+	t := &TopK{plan: p}
+	t.h = sketch.NewBoundedHeap(p.limit, func(a, b topkRow) bool {
+		return p.orderLess(a, b, &t.err)
+	})
+	return t
+}
+
+// orderLess orders candidate rows by the resolved ORDER BY keys, ties
+// broken by ascending tuple ID. Incomparable keys record the first
+// error and impose an arbitrary (but consistent within the sort)
+// order; the caller surfaces the error before trusting any result.
+func (p *Plan) orderLess(a, b topkRow, errp *error) bool {
+	cmp, err := compareOrderKeys(a.vals, b.vals, p.order)
+	if err != nil {
+		if *errp == nil {
+			*errp = err
+		}
+		return false
+	}
+	if cmp != 0 {
+		return cmp < 0
+	}
+	return a.id < b.id
+}
+
+// Add offers one projected row.
+func (t *TopK) Add(vals []tuple.Value, id tuple.ID) {
+	t.h.Push(topkRow{vals: vals, id: id})
+}
+
+// Len returns the rows currently retained (≤ k).
+func (t *TopK) Len() int { return t.h.Len() }
+
+// Err returns the first ordering error observed.
+func (t *TopK) Err() error { return t.err }
+
+// MergeTopK merges per-shard collectors into the final ordered rows,
+// at most LIMIT of them. Nil collectors are skipped.
+func (p *Plan) MergeTopK(parts []*TopK) ([][]tuple.Value, error) {
+	var all []topkRow
+	var err error
+	for _, t := range parts {
+		if t == nil {
+			continue
+		}
+		if t.err != nil && err == nil {
+			err = t.err
+		}
+		all = append(all, t.h.Items()...)
+	}
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(all, func(i, j int) bool { return p.orderLess(all[i], all[j], &err) })
+	if err != nil {
+		return nil, err
+	}
+	if len(all) > p.limit {
+		all = all[:p.limit]
+	}
+	rows := make([][]tuple.Value, len(all))
+	for i := range all {
+		rows[i] = all[i].vals
+	}
+	return rows, nil
+}

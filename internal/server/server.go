@@ -310,6 +310,11 @@ type StatsResponse struct {
 	Queries     uint64  `json:"queries"`
 	Ticks       uint64  `json:"ticks"`
 	CaptureRate float64 `json:"capture_rate"`
+	// SegmentsPruned counts extent segments that zone-map pruning
+	// skipped wholesale across all scans; TuplesSkipped is the live
+	// tuples those segments held — work the scan paths never did.
+	SegmentsPruned uint64 `json:"segments_pruned"`
+	TuplesSkipped  uint64 `json:"tuples_skipped"`
 	// WALShards and WALGeneration describe the persistence layout (one
 	// WAL file per shard, snapshots committed by generation); both are
 	// omitted for in-memory tables.
@@ -333,11 +338,13 @@ func (s *Server) tableStats(w http.ResponseWriter, r *http.Request) {
 	p := tbl.Profile()
 	c := tbl.Counters()
 	wi := tbl.WALInfo()
+	st := tbl.StoreStats()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Live: p.Live, Shards: tbl.Shards(), Bytes: p.Bytes, MeanFresh: p.Mean, Infected: p.Infected,
 		Inserted: c.Inserted, Rotted: c.Rotted, Consumed: c.Consumed,
 		Distilled: c.DistilledRot + c.DistilledQuery,
 		Queries:   c.Queries, Ticks: c.Ticks, CaptureRate: c.CaptureRate(),
+		SegmentsPruned: st.SegsPruned, TuplesSkipped: st.TuplesSkipped,
 		WALShards: wi.LogShards, WALGeneration: wi.Generation,
 		WALSyncMode: wi.SyncMode, GroupCommits: wi.GroupCommits, AvgGroupSize: wi.AvgGroupSize,
 		Persistent: wi.Persistent,

@@ -319,3 +319,24 @@ func TestDurabilityStatsOverHTTP(t *testing.T) {
 		t.Error("bad durability accepted over HTTP")
 	}
 }
+
+func TestPruningCountersOverHTTP(t *testing.T) {
+	c, _ := newServer(t)
+	seed(t, c)
+	// sev spans [2, 7]; a disjoint range predicate lets the zone map
+	// skip the whole (single) segment without touching a tuple.
+	g, err := c.Query("SELECT host FROM logs WHERE sev > 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Rows) != 0 {
+		t.Fatalf("rows = %d, want 0", len(g.Rows))
+	}
+	st, err := c.Stats("logs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SegmentsPruned == 0 || st.TuplesSkipped == 0 {
+		t.Errorf("pruning counters missing from stats: %+v", st)
+	}
+}

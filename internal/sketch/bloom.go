@@ -3,6 +3,7 @@ package sketch
 import (
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // Bloom is a Bloom filter: a compact set membership summary with
@@ -50,12 +51,39 @@ func MustBloom(expectedItems uint64, fpRate float64) *Bloom {
 	return b
 }
 
+// hashes derives the double-hashing pair from one FNV pass: h2 is a
+// splitmix64 finalisation of h1 (odd, so the stride cycles every
+// position). One pass over the bytes instead of two — this is the
+// ingest hot path via the segment zone maps. Filters are in-memory
+// only, so the bit layout is free to change between builds.
+func hashes(item []byte) (h1, h2 uint64) {
+	h1 = fnv64a(0, item)
+	return h1, deriveH2(h1)
+}
+
+// deriveH2 is the shared splitmix64 finalisation behind hashes and
+// hashesString — one implementation, so the byte and string paths
+// cannot drift and AddString([s]) always hits Add([]byte(s))'s bits.
+func deriveH2(h1 uint64) uint64 {
+	z := h1 + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return (z ^ (z >> 31)) | 1
+}
+
+// reduce maps a 64-bit hash onto [0, n) without the division a modulo
+// costs (Lemire's multiply-shift: the high word of h×n is uniform when
+// h is).
+func reduce(h, n uint64) uint64 {
+	hi, _ := bits.Mul64(h, n)
+	return hi
+}
+
 // Add inserts item.
 func (b *Bloom) Add(item []byte) {
-	h1 := fnv64a(0, item)
-	h2 := fnv64a(1, item) | 1 // odd so the stride cycles all positions
+	h1, h2 := hashes(item)
 	for i := uint32(0); i < b.k; i++ {
-		pos := (h1 + uint64(i)*h2) % b.nbits
+		pos := reduce(h1+uint64(i)*h2, b.nbits)
 		b.bits[pos/64] |= 1 << (pos % 64)
 	}
 	b.added++
@@ -64,10 +92,9 @@ func (b *Bloom) Add(item []byte) {
 // MayContain reports whether item was possibly added. False means
 // definitely not added.
 func (b *Bloom) MayContain(item []byte) bool {
-	h1 := fnv64a(0, item)
-	h2 := fnv64a(1, item) | 1
+	h1, h2 := hashes(item)
 	for i := uint32(0); i < b.k; i++ {
-		pos := (h1 + uint64(i)*h2) % b.nbits
+		pos := reduce(h1+uint64(i)*h2, b.nbits)
 		if b.bits[pos/64]&(1<<(pos%64)) == 0 {
 			return false
 		}
@@ -80,3 +107,33 @@ func (b *Bloom) Added() uint64 { return b.added }
 
 // Bytes returns the approximate memory footprint.
 func (b *Bloom) Bytes() int { return 8 * len(b.bits) }
+
+// hashesString is hashes for a string key, avoiding the []byte
+// conversion on the ingest hot path.
+func hashesString(s string) (h1, h2 uint64) {
+	h1 = fnv64aString(s)
+	return h1, deriveH2(h1)
+}
+
+// AddString is Add for a string key. Identical bit positions to
+// Add([]byte(s)).
+func (b *Bloom) AddString(s string) {
+	h1, h2 := hashesString(s)
+	for i := uint32(0); i < b.k; i++ {
+		pos := reduce(h1+uint64(i)*h2, b.nbits)
+		b.bits[pos/64] |= 1 << (pos % 64)
+	}
+	b.added++
+}
+
+// MayContainString is MayContain for a string key.
+func (b *Bloom) MayContainString(s string) bool {
+	h1, h2 := hashesString(s)
+	for i := uint32(0); i < b.k; i++ {
+		pos := reduce(h1+uint64(i)*h2, b.nbits)
+		if b.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}

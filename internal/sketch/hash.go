@@ -44,3 +44,32 @@ func fmix64(h uint64) uint64 {
 	h ^= h >> 33
 	return h
 }
+
+// fnv64aZeroState is fnv64a's running state after mixing the 8-byte
+// zero-seed prefix: the constant starting point of every seed-0 hash,
+// hoisted out of the per-string hot path.
+var fnv64aZeroState = func() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < 8; i++ {
+		h *= prime // seed bytes are all zero: the xor is a no-op
+	}
+	return h
+}()
+
+// fnv64aString is seed-0 fnv64a over a string without a []byte
+// conversion or the seed-prefix rounds — the zone-map ingest hot path
+// calls it once per appended string. Identical output to
+// fnv64a(0, []byte(s)).
+func fnv64aString(s string) uint64 {
+	const prime = 1099511628211
+	h := fnv64aZeroState
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return fmix64(h)
+}

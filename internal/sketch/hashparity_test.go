@@ -1,0 +1,21 @@
+package sketch
+
+import "testing"
+
+func TestStringHashParity(t *testing.T) {
+	for _, s := range []string{"", "a", "sensor-12", "a longer key with spaces", "\x00\xff"} {
+		if got, want := fnv64aString(s), fnv64a(0, []byte(s)); got != want {
+			t.Errorf("fnv64aString(%q) = %x, fnv64a = %x", s, got, want)
+		}
+		b := MustBloom(128, 0.01)
+		b.AddString(s)
+		if !b.MayContain([]byte(s)) || !b.MayContainString(s) {
+			t.Errorf("AddString(%q) not visible to byte/string probes", s)
+		}
+		b2 := MustBloom(128, 0.01)
+		b2.Add([]byte(s))
+		if !b2.MayContainString(s) {
+			t.Errorf("Add(%q) not visible to string probe", s)
+		}
+	}
+}

@@ -36,18 +36,20 @@ type segment struct {
 	stride tuple.ID
 	tuples []tuple.Tuple
 	dead   []bool
-	live   int  // number of non-tombstoned tuples
-	bytes  int  // sum of Size() over live tuples
-	sealed bool // reached capacity at least once; no further appends
-	sparse bool // compacted: IDs no longer dense, use binary search
+	live   int      // number of non-tombstoned tuples
+	bytes  int      // sum of Size() over live tuples
+	sealed bool     // reached capacity at least once; no further appends
+	sparse bool     // compacted: IDs no longer dense, use binary search
+	zone   *ZoneMap // pruning summary, maintained on append
 }
 
-func newSegment(base tuple.ID, capacity int, stride tuple.ID) *segment {
+func newSegment(schema *tuple.Schema, base tuple.ID, capacity int, stride tuple.ID) *segment {
 	return &segment{
 		base:   base,
 		stride: stride,
 		tuples: make([]tuple.Tuple, 0, capacity),
 		dead:   make([]bool, 0, capacity),
+		zone:   newZoneMap(schema, capacity),
 	}
 }
 
@@ -62,6 +64,7 @@ func (s *segment) append(tp tuple.Tuple) {
 	s.dead = append(s.dead, false)
 	s.live++
 	s.bytes += tp.Size()
+	s.zone.add(&s.tuples[len(s.tuples)-1])
 	if len(s.tuples) == cap(s.tuples) {
 		s.sealed = true
 	}

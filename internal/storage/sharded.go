@@ -134,6 +134,8 @@ func (ss *ShardedStore) Stats() Stats {
 		out.SegsTotal += st.SegsTotal
 		out.SegsLive += st.SegsLive
 		out.SegsDropped += st.SegsDropped
+		out.SegsPruned += st.SegsPruned
+		out.TuplesSkipped += st.TuplesSkipped
 	}
 	return out
 }
@@ -148,9 +150,16 @@ func (ss *ShardedStore) Contains(id tuple.ID) bool {
 	return ss.shards[ss.ShardOf(id)].Contains(id)
 }
 
-// Update applies fn to the live tuple with id in place.
+// Update applies fn to the live tuple with id in place (freshness and
+// infection state only — see Store.Update).
 func (ss *ShardedStore) Update(id tuple.ID, fn func(*tuple.Tuple)) error {
 	return ss.shards[ss.ShardOf(id)].Update(id, fn)
+}
+
+// UpdateAttrs applies fn to the live tuple with id, allowing attribute
+// mutation (invalidates the owning segment's zone map).
+func (ss *ShardedStore) UpdateAttrs(id tuple.ID, fn func(*tuple.Tuple)) error {
+	return ss.shards[ss.ShardOf(id)].UpdateAttrs(id, fn)
 }
 
 // Evict tombstones the tuple with id.
@@ -222,6 +231,12 @@ func (ss *ShardedStore) Scan(fn func(*tuple.Tuple) bool) {
 // ScanShard scans only shard i, in that shard's ID order.
 func (ss *ShardedStore) ScanShard(i int, fn func(*tuple.Tuple) bool) {
 	ss.shards[i].Scan(fn)
+}
+
+// ScanShardPruned scans only shard i with segment pruning (see
+// Store.ScanPruned), reporting what was skipped.
+func (ss *ShardedStore) ScanShardPruned(i int, skip func(*ZoneMap) bool, fn func(*tuple.Tuple) bool) PruneStats {
+	return ss.shards[i].ScanPruned(skip, fn)
 }
 
 // ScanIDs appends the IDs of all live tuples to dst in global insertion

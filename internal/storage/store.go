@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"fungusdb/internal/clock"
 	"fungusdb/internal/tuple"
@@ -38,6 +39,12 @@ type Store struct {
 
 	evictions uint64 // tombstones ever written
 	drops     uint64 // whole segments reclaimed
+
+	// Pruning counters are atomic: pruned scans run under the engine's
+	// shard read lock, so any number of them observe and skip segments
+	// concurrently.
+	segsPruned    atomic.Uint64 // segments skipped wholesale by pruned scans
+	tuplesSkipped atomic.Uint64 // live tuples inside those segments
 
 	restoreSeg int // segment index of the last Restore, -1 outside recovery
 }
@@ -110,6 +117,11 @@ type Stats struct {
 	SegsTotal   int // segments ever created
 	SegsLive    int // segments currently held
 	SegsDropped uint64
+	// SegsPruned counts segments skipped wholesale by zone-map pruned
+	// scans; TuplesSkipped is the live tuples those segments held at
+	// skip time (work the scan never did).
+	SegsPruned    uint64
+	TuplesSkipped uint64
 }
 
 // Stats returns a snapshot of store counters.
@@ -121,13 +133,15 @@ func (s *Store) Stats() Stats {
 		}
 	}
 	return Stats{
-		Live:        s.live,
-		Bytes:       s.bytes,
-		Inserted:    uint64(s.slotOf(s.nextID)),
-		Evicted:     s.evictions,
-		SegsTotal:   len(s.segs),
-		SegsLive:    liveSegs,
-		SegsDropped: s.drops,
+		Live:          s.live,
+		Bytes:         s.bytes,
+		Inserted:      uint64(s.slotOf(s.nextID)),
+		Evicted:       s.evictions,
+		SegsTotal:     len(s.segs),
+		SegsLive:      liveSegs,
+		SegsDropped:   s.drops,
+		SegsPruned:    s.segsPruned.Load(),
+		TuplesSkipped: s.tuplesSkipped.Load(),
 	}
 }
 
@@ -220,16 +234,9 @@ func (s *Store) Restore(tp tuple.Tuple) error {
 		s.restoreSeg = segIdx
 	}
 	if s.segs[segIdx] == nil {
-		s.segs[segIdx] = newSegment(s.idAt(segIdx*s.segSize), s.segSize, s.stride)
+		s.segs[segIdx] = newSegment(s.schema, s.idAt(segIdx*s.segSize), s.segSize, s.stride)
 	}
-	sg := s.segs[segIdx]
-	if tp.ID != sg.base+tuple.ID(len(sg.tuples))*s.stride {
-		sg.sparse = true
-	}
-	sg.tuples = append(sg.tuples, tp)
-	sg.dead = append(sg.dead, false)
-	sg.live++
-	sg.bytes += tp.Size()
+	s.segs[segIdx].append(tp)
 	s.nextID = tp.ID + s.stride
 	s.live++
 	s.bytes += tp.Size()
@@ -264,7 +271,7 @@ func (s *Store) insertRaw(tp tuple.Tuple) {
 		}
 	}
 	for len(s.segs) <= segIdx {
-		s.segs = append(s.segs, newSegment(s.idAt(len(s.segs)*s.segSize), s.segSize, s.stride))
+		s.segs = append(s.segs, newSegment(s.schema, s.idAt(len(s.segs)*s.segSize), s.segSize, s.stride))
 	}
 	s.segs[segIdx].append(tp)
 	s.nextID += s.stride
@@ -305,7 +312,10 @@ func (s *Store) segOf(id tuple.ID) *segment {
 }
 
 // Update applies fn to the live tuple with id in place. fn may mutate
-// freshness, infection state and attributes; it must not change ID or T.
+// freshness and infection state only; it must not change ID, T or the
+// attributes (use UpdateAttrs for those — the zone maps summarise
+// attributes, and this path runs once per touched tuple per decay
+// tick, too hot for change detection).
 func (s *Store) Update(id tuple.ID, fn func(*tuple.Tuple)) error {
 	sg := s.segOf(id)
 	if sg == nil {
@@ -320,6 +330,22 @@ func (s *Store) Update(id tuple.ID, fn func(*tuple.Tuple)) error {
 	delta := tp.Size() - before
 	s.bytes += delta
 	sg.bytes += delta
+	return nil
+}
+
+// UpdateAttrs applies fn to the live tuple with id, allowing attribute
+// mutation: the segment's zone map is invalidated until the next
+// Compact rebuilds it, so pruning can never trust bounds the mutation
+// outdated. fn must not change ID or T.
+func (s *Store) UpdateAttrs(id tuple.ID, fn func(*tuple.Tuple)) error {
+	sg := s.segOf(id)
+	if sg == nil {
+		return ErrNotFound
+	}
+	if err := s.Update(id, fn); err != nil {
+		return err
+	}
+	sg.zone.markDirty()
 	return nil
 }
 
@@ -360,9 +386,26 @@ func (s *Store) dropSegment(i int) {
 // pointer passed to fn is valid only during the call; fn must not evict
 // or insert. Returning false stops the scan.
 func (s *Store) Scan(fn func(*tuple.Tuple) bool) {
+	s.ScanPruned(nil, fn)
+}
+
+// ScanPruned is Scan with segment pruning: before a segment's tuples
+// are visited, skip is consulted with the segment's zone map and may
+// veto the whole segment (skip must only return true when no live
+// tuple can match — zone maps guarantee bounds and bloom membership
+// are conservative). A nil skip degrades to a plain Scan. Dirty or
+// empty summaries are never offered to skip. Returns what was pruned;
+// the store's lifetime counters accumulate the same numbers.
+func (s *Store) ScanPruned(skip func(*ZoneMap) bool, fn func(*tuple.Tuple) bool) PruneStats {
+	var ps PruneStats
 	for i := s.first; i < len(s.segs); i++ {
 		sg := s.segs[i]
 		if sg == nil {
+			continue
+		}
+		if skip != nil && sg.live > 0 && sg.zone.usable() && skip(sg.zone) {
+			ps.Segments++
+			ps.Tuples += sg.live
 			continue
 		}
 		for j := range sg.tuples {
@@ -370,9 +413,21 @@ func (s *Store) Scan(fn func(*tuple.Tuple) bool) {
 				continue
 			}
 			if !fn(&sg.tuples[j]) {
-				return
+				s.notePruned(ps)
+				return ps
 			}
 		}
+	}
+	s.notePruned(ps)
+	return ps
+}
+
+// notePruned folds one scan's pruning outcome into the lifetime
+// counters.
+func (s *Store) notePruned(ps PruneStats) {
+	if ps.Segments > 0 {
+		s.segsPruned.Add(uint64(ps.Segments))
+		s.tuplesSkipped.Add(uint64(ps.Tuples))
 	}
 }
 
@@ -492,7 +547,9 @@ func (s *Store) LastLive() (tuple.ID, bool) {
 // tombstoned tuples while preserving IDs (segments become sparse). It
 // returns the number of tombstone slots reclaimed. Compact never changes
 // what Scan observes, only memory usage; the unsealed tail segment is
-// skipped.
+// skipped. Every surviving segment's zone map is rebuilt over the live
+// tuples — tightening eviction-loosened bounds and re-validating
+// summaries an attribute Update dirtied.
 //
 // This is the "deferred compaction" arm of the ablation in DESIGN.md;
 // eager deletion corresponds to calling Compact after every Evict.
@@ -500,7 +557,13 @@ func (s *Store) Compact() int {
 	reclaimed := 0
 	for i := s.first; i < len(s.segs); i++ {
 		sg := s.segs[i]
-		if sg == nil || !sg.sealed {
+		if sg == nil {
+			continue
+		}
+		if !sg.sealed {
+			if sg.zone.dirty {
+				sg.zone.rebuild(sg)
+			}
 			continue
 		}
 		if sg.live == 0 {
@@ -509,6 +572,9 @@ func (s *Store) Compact() int {
 			continue
 		}
 		if sg.live == len(sg.tuples) {
+			if sg.zone.dirty {
+				sg.zone.rebuild(sg)
+			}
 			continue
 		}
 		kept := make([]tuple.Tuple, 0, sg.live)
@@ -521,6 +587,7 @@ func (s *Store) Compact() int {
 		sg.tuples = kept
 		sg.dead = make([]bool, len(kept))
 		sg.sparse = true
+		sg.zone.rebuild(sg)
 	}
 	return reclaimed
 }

@@ -1,0 +1,234 @@
+package storage
+
+import (
+	"math"
+
+	"fungusdb/internal/sketch"
+	"fungusdb/internal/tuple"
+)
+
+// zoneBloomFP is the per-segment string bloom's false-positive rate. A
+// false positive only costs a wasted segment scan, so the filters stay
+// small (~1.2 bytes per string value at 1%).
+const zoneBloomFP = 0.01
+
+// ZoneMap is the per-segment pruning summary: inclusive min/max bounds
+// for every attribute column plus the insertion-tick and ID axes, and a
+// Bloom filter over each STRING column. Bounds cover every tuple ever
+// appended to the segment, live or tombstoned — a superset of the live
+// set — so eviction (rot, consume) never needs to touch them: they stay
+// conservative, merely loose. Compact rebuilds them over the survivors,
+// tightening the bounds and clearing the dirty flag an in-place
+// attribute mutation sets.
+//
+// Maintenance sits on the insert hot path, so each column's bounds are
+// kept in raw kind-specialised form (int64/float64/string) and only
+// boxed into tuple.Values when a scan consults them.
+//
+// Freshness carries no zone map: the fungus layer rewrites it on every
+// tick, so any recorded bound would go stale in the dangerous
+// direction. Predicates over _f simply never prune.
+//
+// The query layer consumes a ZoneMap through its own structurally
+// matching ZoneView interface, keeping storage free of query imports.
+type ZoneMap struct {
+	schema *tuple.Schema
+	cols   []colZone
+	tMin   int64
+	tMax   int64
+	idMin  tuple.ID
+	idMax  tuple.ID
+	seen   bool // at least one tuple folded in
+	dirty  bool // an Update mutated attributes; bounds unusable until rebuilt
+}
+
+// colZone summarises one attribute column. Which bound fields are live
+// depends on kind: iLo/iHi for INT and BOOL (0/1), fLo/fHi for FLOAT,
+// sLo/sHi (plus the bloom) for STRING.
+type colZone struct {
+	kind     tuple.Kind
+	ok       bool // bounds usable (false after an incomparable value, e.g. NaN)
+	iLo, iHi int64
+	fLo, fHi float64
+	sLo, sHi string
+	bloom    *sketch.Bloom // STRING columns only
+	lastStr  string        // last string folded into the bloom (dedup memo)
+}
+
+// newZoneMap builds an empty summary for a segment of the given tuple
+// capacity.
+func newZoneMap(schema *tuple.Schema, capacity int) *ZoneMap {
+	z := &ZoneMap{schema: schema, cols: make([]colZone, schema.Len())}
+	for i := range z.cols {
+		z.cols[i].kind = schema.Column(i).Kind
+		if z.cols[i].kind == tuple.KindString {
+			z.cols[i].bloom = sketch.MustBloom(uint64(capacity), zoneBloomFP)
+		}
+	}
+	return z
+}
+
+// add folds one appended tuple into the summary.
+func (z *ZoneMap) add(tp *tuple.Tuple) {
+	first := !z.seen
+	if first {
+		z.seen = true
+		z.tMin, z.tMax = int64(tp.T), int64(tp.T)
+		z.idMin, z.idMax = tp.ID, tp.ID
+	} else {
+		if t := int64(tp.T); t < z.tMin {
+			z.tMin = t
+		} else if t > z.tMax {
+			z.tMax = t
+		}
+		if tp.ID < z.idMin {
+			z.idMin = tp.ID
+		}
+		if tp.ID > z.idMax {
+			z.idMax = tp.ID
+		}
+	}
+	for i := range z.cols {
+		c := &z.cols[i]
+		switch c.kind {
+		case tuple.KindInt:
+			v := tp.Attrs[i].AsInt()
+			if first {
+				c.iLo, c.iHi, c.ok = v, v, true
+			} else if v < c.iLo {
+				c.iLo = v
+			} else if v > c.iHi {
+				c.iHi = v
+			}
+		case tuple.KindFloat:
+			v := tp.Attrs[i].AsFloat()
+			switch {
+			case math.IsNaN(v):
+				// NaN is unordered: no bounds can cover it, so the
+				// column stays unprunable for this segment's lifetime.
+				c.ok = false
+			case first:
+				c.fLo, c.fHi, c.ok = v, v, true
+			case c.ok:
+				if v < c.fLo {
+					c.fLo = v
+				} else if v > c.fHi {
+					c.fHi = v
+				}
+			}
+		case tuple.KindString:
+			v := tp.Attrs[i].AsString()
+			if first {
+				c.sLo, c.sHi, c.ok = v, v, true
+				c.bloom.AddString(v)
+				c.lastStr = v
+				break
+			}
+			if v == c.lastStr {
+				// Insertion-time clustering makes value repeats the
+				// common case; a repeat changes neither the bounds nor
+				// the bloom (sets are idempotent), so skip the hash.
+				break
+			}
+			if v < c.sLo {
+				c.sLo = v
+			} else if v > c.sHi {
+				c.sHi = v
+			}
+			c.bloom.AddString(v)
+			c.lastStr = v
+		case tuple.KindBool:
+			var v int64
+			if tp.Attrs[i].AsBool() {
+				v = 1
+			}
+			if first {
+				c.iLo, c.iHi, c.ok = v, v, true
+			} else if v < c.iLo {
+				c.iLo = v
+			} else if v > c.iHi {
+				c.iHi = v
+			}
+		}
+	}
+}
+
+// rebuild recomputes the summary over the segment's live tuples,
+// tightening eviction-loosened bounds and clearing the dirty flag. The
+// bloom is sized to the segment's full capacity, not its current fill:
+// an unsealed segment keeps appending after a rebuild, and an
+// undersized filter would saturate into uselessness. The caller must
+// hold the shard's write lock.
+func (z *ZoneMap) rebuild(sg *segment) {
+	capacity := cap(sg.tuples)
+	if capacity < 1 {
+		capacity = 1
+	}
+	fresh := newZoneMap(z.schema, capacity)
+	for j := range sg.tuples {
+		if !sg.dead[j] {
+			fresh.add(&sg.tuples[j])
+		}
+	}
+	*z = *fresh
+}
+
+// markDirty invalidates the summary until the next rebuild. Called when
+// an Update mutates attribute values in place.
+func (z *ZoneMap) markDirty() { z.dirty = true }
+
+// usable reports whether the summary may be consulted at all.
+func (z *ZoneMap) usable() bool { return z.seen && !z.dirty }
+
+// Bounds returns the inclusive bounds of schema column i, with ok=false
+// when the summary cannot vouch for them (empty, dirty, or poisoned by
+// an incomparable value).
+func (z *ZoneMap) Bounds(i int) (lo, hi tuple.Value, ok bool) {
+	if !z.usable() || i < 0 || i >= len(z.cols) || !z.cols[i].ok {
+		return tuple.Value{}, tuple.Value{}, false
+	}
+	c := &z.cols[i]
+	switch c.kind {
+	case tuple.KindInt:
+		return tuple.Int(c.iLo), tuple.Int(c.iHi), true
+	case tuple.KindFloat:
+		return tuple.Float(c.fLo), tuple.Float(c.fHi), true
+	case tuple.KindString:
+		return tuple.String_(c.sLo), tuple.String_(c.sHi), true
+	case tuple.KindBool:
+		return tuple.Bool(c.iLo != 0), tuple.Bool(c.iHi != 0), true
+	}
+	return tuple.Value{}, tuple.Value{}, false
+}
+
+// TickBounds returns the inclusive insertion-tick bounds as INT values.
+func (z *ZoneMap) TickBounds() (lo, hi tuple.Value, ok bool) {
+	if !z.usable() {
+		return tuple.Value{}, tuple.Value{}, false
+	}
+	return tuple.Int(z.tMin), tuple.Int(z.tMax), true
+}
+
+// IDBounds returns the inclusive tuple-ID bounds as INT values.
+func (z *ZoneMap) IDBounds() (lo, hi tuple.Value, ok bool) {
+	if !z.usable() {
+		return tuple.Value{}, tuple.Value{}, false
+	}
+	return tuple.Int(int64(z.idMin)), tuple.Int(int64(z.idMax)), true
+}
+
+// MayContainString reports whether column i may hold the string s.
+// False means definitely absent; true when present, unknown, or the
+// column has no bloom.
+func (z *ZoneMap) MayContainString(i int, s string) bool {
+	if !z.usable() || i < 0 || i >= len(z.cols) || z.cols[i].bloom == nil {
+		return true
+	}
+	return z.cols[i].bloom.MayContainString(s)
+}
+
+// PruneStats reports what one pruned scan skipped.
+type PruneStats struct {
+	Segments int // segments skipped wholesale
+	Tuples   int // live tuples inside those segments
+}
