@@ -563,6 +563,9 @@ func (s *shell) stats(args []string) error {
 	if st.SegsPruned > 0 {
 		fmt.Fprintf(s.out, "pruning: %d segments skipped (%d tuples never examined)\n", st.SegsPruned, st.TuplesSkipped)
 	}
+	if st.BatchesScanned > 0 {
+		fmt.Fprintf(s.out, "vectorized: %d batches scanned (%d rows evaluated kernel-wise)\n", st.BatchesScanned, st.RowsVectorized)
+	}
 	if wi := tbl.WALInfo(); wi.Persistent {
 		fmt.Fprintf(s.out, "wal: %d shard logs, snapshot generation %d, sync mode %s\n",
 			wi.LogShards, wi.Generation, wi.SyncMode)

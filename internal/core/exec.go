@@ -59,6 +59,17 @@ func pruneFn(plan *query.Plan, opt QueryOpts) func(*storage.ZoneMap) bool {
 	return func(z *storage.ZoneMap) bool { return p.Skip(z) }
 }
 
+// batchMatcher returns a fresh per-shard batch evaluator when the plan
+// and options allow the vectorized route, nil otherwise (the caller
+// then matches tuple at a time). Matchers carry scratch bitmaps, so
+// every shard goroutine needs its own.
+func (t *Table) batchMatcher(plan *query.Plan, params []tuple.Value, opt QueryOpts) *query.BatchMatcher {
+	if opt.NoVectorize {
+		return nil
+	}
+	return plan.NewBatchMatcher(params)
+}
+
 // PreparedQuery is a statement compiled against one table: parse and
 // validation already happened, so Execute only binds parameters and
 // runs. A PreparedQuery is immutable and safe for concurrent use;
@@ -257,6 +268,34 @@ func (t *Table) matchShard(i int, plan *query.Plan, params []tuple.Value, limit 
 	return out, matchErr
 }
 
+// matchShardBatch is matchShard on the vectorized route: the compiled
+// WHERE program selects rows batch-wise over the columnar segment
+// views, and tuples materialise only for matches. A kernel error only
+// surfaces when the scan consumes every selected row before it — a
+// limit hit stops first, exactly where the tuple path would have
+// stopped evaluating.
+func (t *Table) matchShardBatch(i int, bm *query.BatchMatcher, limit int, prune func(*storage.ZoneMap) bool, scanned *int) ([]tuple.Tuple, error) {
+	var out []tuple.Tuple
+	var matchErr error
+	t.store.ScanShardBatches(i, prune, func(b *tuple.Batch) bool {
+		*scanned += b.Alive
+		sel, _, kerr := bm.Match(b)
+		full := !tuple.EachSet(sel, func(j int) bool {
+			out = append(out, b.Row(j))
+			return limit == 0 || len(out) < limit
+		})
+		if full {
+			return false
+		}
+		if kerr != nil {
+			matchErr = kerr
+			return false
+		}
+		return true
+	})
+	return out, matchErr
+}
+
 // execStream is the shard-parallel streaming peek: one producer per
 // shard scans under that shard's read lock and hands matching tuples
 // over a small bounded channel; the returned Rows k-way merges the
@@ -302,6 +341,55 @@ func (t *Table) execStream(plan *query.Plan, params []tuple.Value, opt QueryOpts
 					aborted = true
 					return false
 				}
+			}
+			if bm := t.batchMatcher(plan, params, opt); bm != nil {
+				// Vectorized producer: the WHERE program selects whole
+				// column batches; matches clone in ascending row order,
+				// filling the same 256-row hand-off batches at the same
+				// boundaries as the tuple path. Cancellation polls per
+				// storage batch (≤ BatchRows rows, ≤ abortCheckEvery).
+				t.store.ScanShardBatches(i, prune, func(b *tuple.Batch) bool {
+					scanned.Add(int64(b.Alive))
+					select {
+					case <-done:
+						aborted = true
+						return false
+					default:
+					}
+					runtime.Gosched()
+					sel, _, kerr := bm.Match(b)
+					full := false
+					tuple.EachSet(sel, func(j int) bool {
+						batch = append(batch, b.Row(j))
+						matched++
+						if len(batch) == streamBatchSize {
+							if !send(batch) {
+								return false
+							}
+							batch = make([]tuple.Tuple, 0, streamBatchSize)
+						}
+						if limit != 0 && matched >= limit {
+							full = true
+							return false
+						}
+						return true
+					})
+					if aborted || full {
+						return false
+					}
+					if kerr != nil {
+						innerErr = kerr
+						return false
+					}
+					return true
+				})
+				if innerErr != nil {
+					return innerErr
+				}
+				if !aborted && len(batch) > 0 {
+					send(batch)
+				}
+				return nil
 			}
 			t.store.ScanShardPruned(i, prune, func(tp *tuple.Tuple) bool {
 				scanned.Add(1)
@@ -390,6 +478,44 @@ func (t *Table) execAggregate(plan *query.Plan, params []tuple.Value, opt QueryO
 		t.shardMu[i].RLock()
 		defer t.shardMu[i].RUnlock()
 		var innerErr error
+		if bm := t.batchMatcher(plan, params, opt); bm != nil {
+			// Vectorized route: the WHERE program selects whole column
+			// batches and eligible aggregates fold the selection without
+			// materialising a single tuple. Statements FeedBatch cannot
+			// fold (GROUP BY, computed aggregate arguments) decode just
+			// the selected rows — the WHERE stays vectorized either way.
+			canBatch := agg.CanFeedBatch()
+			var scratch tuple.Tuple
+			t.store.ScanShardBatches(i, prune, func(b *tuple.Batch) bool {
+				scanned[i] += b.Alive
+				sel, _, kerr := bm.Match(b)
+				if canBatch {
+					if err := agg.FeedBatch(b, sel); err != nil {
+						innerErr = err
+						return false
+					}
+				} else {
+					tuple.EachSet(sel, func(j int) bool {
+						b.ReadRow(j, &scratch)
+						if err := agg.Feed(&scratch); err != nil {
+							innerErr = err
+							return false
+						}
+						return true
+					})
+					if innerErr != nil {
+						return false
+					}
+				}
+				if kerr != nil {
+					innerErr = kerr
+					return false
+				}
+				return true
+			})
+			aggs[i] = agg
+			return innerErr
+		}
 		t.store.ScanShardPruned(i, prune, func(tp *tuple.Tuple) bool {
 			scanned[i]++
 			ok, err := plan.Match(tp, params)
@@ -440,6 +566,7 @@ func (t *Table) execAggregate(plan *query.Plan, params []tuple.Value, opt QueryO
 func (t *Table) execOrderedTopK(plan *query.Plan, params []tuple.Value, opt QueryOpts) (*query.Rows, error) {
 	n := t.store.NumShards()
 	prune := pruneFn(plan, opt)
+	axis, axisDesc, axisOK := plan.OrderAxis()
 	tks := make([]*query.TopK, n)
 	scanned := make([]int, n)
 	err := fanOut(n, t.workers, func(i int) error {
@@ -447,8 +574,7 @@ func (t *Table) execOrderedTopK(plan *query.Plan, params []tuple.Value, opt Quer
 		t.shardMu[i].RLock()
 		defer t.shardMu[i].RUnlock()
 		var innerErr error
-		t.store.ScanShardPruned(i, prune, func(tp *tuple.Tuple) bool {
-			scanned[i]++
+		feed := func(tp *tuple.Tuple) bool {
 			ok, err := plan.Match(tp, params)
 			if err != nil {
 				innerErr = err
@@ -464,7 +590,57 @@ func (t *Table) execOrderedTopK(plan *query.Plan, params []tuple.Value, opt Quer
 			}
 			tk.Add(row, tp.ID)
 			return true
-		})
+		}
+		switch bm := t.batchMatcher(plan, params, opt); {
+		case axisOK && !opt.NoPrune:
+			// Zone-directed ordered scan: ORDER BY _t/_id walks the ID
+			// axis in key order (segments and rows reversed for DESC),
+			// so the heap fills with the best candidates first and the
+			// per-segment _t/_id bounds rule out whole segments once it
+			// is full. The top-k survivor set is insertion-order
+			// independent (the heap orders totally, ties broken by ID),
+			// so the changed visit order cannot change the answer.
+			axisSkip := tk.AxisSkip(axis, axisDesc)
+			skip := func(z *storage.ZoneMap) bool {
+				if prune != nil && prune(z) {
+					return true
+				}
+				return axisSkip(z)
+			}
+			t.store.ScanShardAxis(i, axisDesc, skip, func(tp *tuple.Tuple) bool {
+				scanned[i]++
+				return feed(tp)
+			})
+		case bm != nil:
+			var scratch tuple.Tuple
+			t.store.ScanShardBatches(i, prune, func(b *tuple.Batch) bool {
+				scanned[i] += b.Alive
+				sel, _, kerr := bm.Match(b)
+				tuple.EachSet(sel, func(j int) bool {
+					b.ReadRow(j, &scratch)
+					row, err := plan.Project(&scratch, params)
+					if err != nil {
+						innerErr = err
+						return false
+					}
+					tk.Add(row, scratch.ID)
+					return true
+				})
+				if innerErr != nil {
+					return false
+				}
+				if kerr != nil {
+					innerErr = kerr
+					return false
+				}
+				return true
+			})
+		default:
+			t.store.ScanShardPruned(i, prune, func(tp *tuple.Tuple) bool {
+				scanned[i]++
+				return feed(tp)
+			})
+		}
 		if innerErr != nil {
 			return innerErr
 		}
@@ -512,7 +688,11 @@ func (t *Table) execMaterial(plan *query.Plan, params []tuple.Value, opt QueryOp
 		t.shardMu[i].RLock()
 		defer t.shardMu[i].RUnlock()
 		var err error
-		parts[i], err = t.matchShard(i, plan, params, opt.Limit, prune, &scanned[i])
+		if bm := t.batchMatcher(plan, params, opt); bm != nil {
+			parts[i], err = t.matchShardBatch(i, bm, opt.Limit, prune, &scanned[i])
+		} else {
+			parts[i], err = t.matchShard(i, plan, params, opt.Limit, prune, &scanned[i])
+		}
 		return err
 	})
 	if err != nil {
@@ -591,7 +771,11 @@ func (t *Table) consumeCut(plan *query.Plan, params []tuple.Value, opt QueryOpts
 	prune := pruneFn(plan, opt)
 	err = fanOut(n, t.workers, func(i int) error {
 		var err error
-		parts[i], err = t.matchShard(i, plan, params, opt.Limit, prune, &scanned[i])
+		if bm := t.batchMatcher(plan, params, opt); bm != nil {
+			parts[i], err = t.matchShardBatch(i, bm, opt.Limit, prune, &scanned[i])
+		} else {
+			parts[i], err = t.matchShard(i, plan, params, opt.Limit, prune, &scanned[i])
+		}
 		return err
 	})
 	if err != nil {

@@ -541,6 +541,12 @@ type QueryOpts struct {
 	// succeeds instead of erroring. This knob exists for benchmarks
 	// and the property tests comparing the two paths.
 	NoPrune bool
+	// NoVectorize disables the columnar batch execution route for this
+	// execution, forcing tuple-at-a-time matching. The two routes are
+	// byte-identical by construction (same rows, same order, same error
+	// text); the knob exists for benchmarks and the property tests
+	// asserting exactly that.
+	NoVectorize bool
 }
 
 // Query executes Q(T,R,P) with the given mode. In Consume mode every

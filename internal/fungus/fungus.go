@@ -25,6 +25,7 @@ package fungus
 
 import (
 	"math"
+	"math/bits"
 	"math/rand"
 
 	"fungusdb/internal/clock"
@@ -59,6 +60,29 @@ type Fungus interface {
 	// the extended slice. Rotten tuples are left in the extent (with
 	// freshness clamped to 0) for the engine to distill and evict.
 	Tick(now clock.Tick, ext Extent, rng *rand.Rand, rotten []tuple.ID) []tuple.ID
+}
+
+// systemScanner is the columnar tick fast path *storage.Store offers
+// (matched structurally to avoid importing storage here). It exposes
+// each segment's raw system columns — row IDs, insertion ticks,
+// freshness, and the liveness bitmap — so decay laws that never read
+// attribute values can tick by mutating the freshness slice in place
+// instead of materialising every tuple. Laws that consult attributes
+// (e.g. ValueRate) must keep using Scan.
+type systemScanner interface {
+	ScanSystem(fn func(ids []tuple.ID, ts []int64, fs []float64, live []uint64) bool)
+}
+
+// eachLive walks the set bits of a segment liveness bitmap, calling fn
+// with each live row index.
+func eachLive(live []uint64, fn func(j int)) {
+	for w, m := range live {
+		base := w << 6
+		for m != 0 {
+			fn(base + bits.TrailingZeros64(m))
+			m &= m - 1
+		}
+	}
 }
 
 // Refresher is implemented by fungi that restore freshness when a tuple
@@ -97,6 +121,21 @@ func (f TTL) Tick(now clock.Tick, ext Extent, _ *rand.Rand, rotten []tuple.ID) [
 	if f.Lifetime == 0 {
 		panic("fungus: TTL lifetime must be positive")
 	}
+	if ss, ok := ext.(systemScanner); ok {
+		ss.ScanSystem(func(ids []tuple.ID, ts []int64, fs []float64, live []uint64) bool {
+			eachLive(live, func(j int) {
+				age := uint64(now - clock.Tick(ts[j]))
+				if age >= f.Lifetime {
+					fs[j] = 0
+					rotten = append(rotten, ids[j])
+					return
+				}
+				fs[j] = 1 - float64(age)/float64(f.Lifetime)
+			})
+			return true
+		})
+		return rotten
+	}
 	// The scan only mutates the tuple in place (no evictions), which
 	// Extent.Scan permits.
 	ext.Scan(func(tp *tuple.Tuple) bool {
@@ -122,6 +161,20 @@ func (f Linear) Name() string { return "linear" }
 
 // Tick implements Fungus.
 func (f Linear) Tick(_ clock.Tick, ext Extent, _ *rand.Rand, rotten []tuple.ID) []tuple.ID {
+	if ss, ok := ext.(systemScanner); ok {
+		rate := tuple.Freshness(f.Rate)
+		ss.ScanSystem(func(ids []tuple.ID, _ []int64, fs []float64, live []uint64) bool {
+			eachLive(live, func(j int) {
+				nf := (tuple.Freshness(fs[j]) - rate).Clamp()
+				fs[j] = float64(nf)
+				if nf.Rotten() {
+					rotten = append(rotten, ids[j])
+				}
+			})
+			return true
+		})
+		return rotten
+	}
 	ext.Scan(func(tp *tuple.Tuple) bool {
 		tp.F = (tp.F - tuple.Freshness(f.Rate)).Clamp()
 		if tp.F.Rotten() {
@@ -147,6 +200,19 @@ func (f Exponential) Name() string { return "exponential" }
 
 // Tick implements Fungus.
 func (f Exponential) Tick(_ clock.Tick, ext Extent, _ *rand.Rand, rotten []tuple.ID) []tuple.ID {
+	if ss, ok := ext.(systemScanner); ok {
+		ss.ScanSystem(func(ids []tuple.ID, _ []int64, fs []float64, live []uint64) bool {
+			eachLive(live, func(j int) {
+				fs[j] *= f.Factor
+				if fs[j] < rotThreshold {
+					fs[j] = 0
+					rotten = append(rotten, ids[j])
+				}
+			})
+			return true
+		})
+		return rotten
+	}
 	ext.Scan(func(tp *tuple.Tuple) bool {
 		tp.F = tuple.Freshness(float64(tp.F) * f.Factor)
 		if float64(tp.F) < rotThreshold {

@@ -1,0 +1,118 @@
+package fungus
+
+import (
+	"testing"
+
+	"fungusdb/internal/clock"
+	"fungusdb/internal/storage"
+	"fungusdb/internal/tuple"
+)
+
+// scanOnly hides the store's ScanSystem method so a fungus falls back to
+// the row-at-a-time Scan path, letting the tests below compare the two.
+type scanOnly struct{ Extent }
+
+// freshnessMap snapshots every live tuple's freshness keyed by ID.
+func freshnessMap(s *storage.Store) map[tuple.ID]tuple.Freshness {
+	m := make(map[tuple.ID]tuple.Freshness, s.Len())
+	s.Scan(func(tp *tuple.Tuple) bool {
+		m[tp.ID] = tp.F
+		return true
+	})
+	return m
+}
+
+// parityExtents builds two identical stores with small segments, staggered
+// insertion ticks, and eviction holes, so the batch path has to cope with
+// multiple segments and partial liveness bitmaps.
+func parityExtents(t *testing.T) (*storage.Store, *storage.Store) {
+	t.Helper()
+	schema := tuple.MustSchema(tuple.Column{Name: "n", Kind: tuple.KindInt})
+	a := storage.New(schema, storage.WithSegmentSize(8))
+	b := storage.New(schema, storage.WithSegmentSize(8))
+	for i := 0; i < 90; i++ {
+		at := clock.Tick(i / 10) // ten insertion cohorts for TTL ages
+		attrs := []tuple.Value{tuple.Int(int64(i))}
+		ta, err := a.Insert(at, attrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := b.Insert(at, attrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ta.ID != tb.ID {
+			t.Fatalf("stores diverged: ids %v vs %v", ta.ID, tb.ID)
+		}
+		if i%7 == 3 { // punch holes in the liveness bitmaps
+			if err := a.Evict(ta.ID); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Evict(tb.ID); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return a, b
+}
+
+// TestSystemScanTickParity proves the columnar tick fast path is
+// observationally identical to the row-at-a-time Scan fallback for every
+// law that takes it: same rotten IDs in the same order, same freshness
+// for every surviving tuple, across several consecutive ticks.
+func TestSystemScanTickParity(t *testing.T) {
+	laws := []struct {
+		name string
+		f    Fungus
+	}{
+		{"linear", Linear{Rate: 0.21}},
+		{"ttl", TTL{Lifetime: 11}},
+		{"exponential", Exponential{Factor: 0.2}},
+	}
+	for _, law := range laws {
+		t.Run(law.name, func(t *testing.T) {
+			fast, slow := parityExtents(t)
+			if _, ok := Extent(fast).(systemScanner); !ok {
+				t.Fatal("*storage.Store no longer offers ScanSystem")
+			}
+			if _, ok := Extent(scanOnly{slow}).(systemScanner); ok {
+				t.Fatal("scanOnly wrapper failed to hide ScanSystem")
+			}
+			for now := clock.Tick(10); now < 16; now++ {
+				rotFast := law.f.Tick(now, fast, rng(), nil)
+				rotSlow := law.f.Tick(now, scanOnly{slow}, rng(), nil)
+				if len(rotFast) != len(rotSlow) {
+					t.Fatalf("tick %d: rotten count %d (batch) != %d (scan)",
+						now, len(rotFast), len(rotSlow))
+				}
+				for i := range rotFast {
+					if rotFast[i] != rotSlow[i] {
+						t.Fatalf("tick %d: rotten[%d] = %v (batch) != %v (scan)",
+							now, i, rotFast[i], rotSlow[i])
+					}
+				}
+				fa, fb := freshnessMap(fast), freshnessMap(slow)
+				if len(fa) != len(fb) {
+					t.Fatalf("tick %d: live count %d != %d", now, len(fa), len(fb))
+				}
+				for id, f := range fa {
+					if fb[id] != f {
+						t.Fatalf("tick %d: id %v freshness %v (batch) != %v (scan)",
+							now, id, f, fb[id])
+					}
+				}
+				// Evict what rotted so later ticks exercise shrinking bitmaps.
+				for _, id := range rotFast {
+					if err := fast.Evict(id); err != nil {
+						t.Fatal(err)
+					}
+				}
+				for _, id := range rotSlow {
+					if err := slow.Evict(id); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

@@ -39,6 +39,20 @@ type Aggregator struct {
 	groups  map[string]*aggGroup
 	order   []string      // first-seen group order
 	params  []tuple.Value // bound `?` placeholders, nil when the statement has none
+
+	// Batch-folding state, compiled lazily by CanFeedBatch: one lowered
+	// accessor per target when the statement shape supports FeedBatch.
+	bt      []batchCol
+	btState int8 // 0 unknown, 1 supported, -1 per-tuple only
+}
+
+// batchCol is one aggregate target lowered for batch folding: the
+// aggregate kind plus a resolved column accessor (hasCol false for
+// COUNT(*)).
+type batchCol struct {
+	agg    AggKind
+	col    colAcc
+	hasCol bool
 }
 
 // Aggregated reports whether the statement needs the aggregate path
@@ -144,6 +158,102 @@ func (a *Aggregator) Feed(tp *tuple.Tuple) error {
 		}
 	}
 	return nil
+}
+
+// CanFeedBatch reports whether FeedBatch may be used: no GROUP BY and
+// every target a plain aggregate over a resolvable column (or
+// COUNT(*)). Anything else — grouped statements, computed aggregate
+// arguments — folds tuple at a time, where the interpreter's
+// evaluation order is the specification.
+func (a *Aggregator) CanFeedBatch() bool {
+	if a.btState == 0 {
+		a.compileBatch()
+	}
+	return a.btState > 0
+}
+
+func (a *Aggregator) compileBatch() {
+	a.btState = -1
+	if len(a.stmt.GroupBy) != 0 {
+		return
+	}
+	bt := make([]batchCol, len(a.targets))
+	for i, t := range a.targets {
+		if t.Agg == AggNone {
+			return
+		}
+		if t.Expr == nil {
+			if t.Agg != AggCount {
+				return
+			}
+			bt[i] = batchCol{agg: t.Agg}
+			continue
+		}
+		c, ok := t.Expr.(Col)
+		if !ok {
+			return
+		}
+		acc, ok := resolveCol(c.Name, a.schema)
+		if !ok {
+			return
+		}
+		bt[i] = batchCol{agg: t.Agg, col: acc, hasCol: true}
+	}
+	a.bt = bt
+	a.btState = 1
+}
+
+// FeedBatch folds every selected row of a column batch, producing the
+// exact state (and on failure the exact error) a Feed call per
+// selected row would have: rows fold in ascending order, targets in
+// statement order within a row, so float accumulation order and the
+// first-erroring (row, target) pair match the tuple path bit for bit.
+// The caller must have checked CanFeedBatch.
+func (a *Aggregator) FeedBatch(b *tuple.Batch, sel []uint64) error {
+	var grp *aggGroup
+	var ferr error
+	tuple.EachSet(sel, func(j int) bool {
+		if grp == nil {
+			grp = a.group("", make([]tuple.Value, 0))
+		}
+		for ti := range a.bt {
+			bc := &a.bt[ti]
+			st := grp.aggs[ti]
+			st.n++
+			switch bc.agg {
+			case AggCount:
+			case AggSum, AggAvg:
+				f, ok := batchNum(bc.col, b, j)
+				if !ok {
+					ferr = fmt.Errorf("query: %s over non-numeric %s", bc.agg, bc.col.kind)
+					return false
+				}
+				st.sum += f
+			case AggMin:
+				v := batchValue(bc.col, b, j)
+				if !st.min.IsValid() {
+					st.min = v
+				} else if cmp, ok := v.Compare(st.min); !ok {
+					ferr = fmt.Errorf("query: MIN over incomparable kinds")
+					return false
+				} else if cmp < 0 {
+					st.min = v
+				}
+			case AggMax:
+				v := batchValue(bc.col, b, j)
+				if !st.max.IsValid() {
+					st.max = v
+				} else if cmp, ok := v.Compare(st.max); !ok {
+					ferr = fmt.Errorf("query: MAX over incomparable kinds")
+					return false
+				} else if cmp > 0 {
+					st.max = v
+				}
+			}
+		}
+		return true
+	})
+	return ferr
 }
 
 // group returns (creating if needed) the bucket for key.

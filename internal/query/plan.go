@@ -39,6 +39,7 @@ type Plan struct {
 	// resolved to output-column indices at compile time.
 	match      matchFn
 	pruner     *Pruner
+	vec        *vecProg
 	order      []orderIdx
 	limit      int // resolved LIMIT (0 = unlimited)
 	limitParam int // `LIMIT ?` placeholder index, -1 when literal
@@ -117,6 +118,7 @@ func (p *Plan) compileExec() {
 	}
 	p.match = compileMatch(p.where, p.schema)
 	p.pruner = compilePrune(p.where, p.schema)
+	p.vec = compileVecMatch(p.where, p.schema)
 }
 
 func planAsk(ask *AskStmt, schema *tuple.Schema, src string) (*Plan, error) {
@@ -183,6 +185,7 @@ func PlanPredicate(pred *Predicate, mode Mode) *Plan {
 		raw:        true,
 		match:      pred.match,
 		pruner:     pred.pruner,
+		vec:        pred.vec,
 		limitParam: -1,
 	}
 }
@@ -218,6 +221,34 @@ func (p *Plan) Limit() int { return p.limit }
 // Pruner returns the predicate's compiled segment-prune checks, nil
 // when no conjunct is prunable (or placeholders are still unbound).
 func (p *Plan) Pruner() *Pruner { return p.pruner }
+
+// OrderAxis reports whether the plan's primary sort key is one of the
+// insertion axes the segment zone maps bound: axis 1 is `_t`, axis 2
+// is `_id` (matching the prune-column convention). ok holds only for
+// non-aggregated statement plans whose first ORDER BY key projects the
+// bare system column — those orders can be served by an axis-directed
+// scan that skips whole segments once a top-k heap is full.
+func (p *Plan) OrderAxis() (axis uint8, desc, ok bool) {
+	if p.stmt == nil || p.agg || p.raw || len(p.order) == 0 {
+		return 0, false, false
+	}
+	oi := p.order[0]
+	t := p.targets[oi.idx]
+	if t.Agg != AggNone {
+		return 0, false, false
+	}
+	c, isCol := t.Expr.(Col)
+	if !isCol {
+		return 0, false, false
+	}
+	switch c.Name {
+	case tuple.SysTick:
+		return 1, oi.desc, true
+	case tuple.SysID:
+		return 2, oi.desc, true
+	}
+	return 0, false, false
+}
 
 // IsAsk reports whether the plan answers a knowledge-container
 // question rather than scanning the extent.

@@ -36,6 +36,7 @@ type Predicate struct {
 	src    string
 	match  matchFn
 	pruner *Pruner
+	vec    *vecProg
 }
 
 // Compile parses src and checks every column reference against schema.
@@ -58,6 +59,7 @@ func newPredicate(e Expr, schema *tuple.Schema, src string) *Predicate {
 		src:    src,
 		match:  compileMatch(e, schema),
 		pruner: compilePrune(e, schema),
+		vec:    compileVecMatch(e, schema),
 	}
 }
 

@@ -119,6 +119,46 @@ func (t *TopK) Add(vals []tuple.Value, id tuple.ID) {
 // Len returns the rows currently retained (≤ k).
 func (t *TopK) Len() int { return t.h.Len() }
 
+// AxisSkip returns a zone check for axis-ordered top-k scans (see
+// Plan.OrderAxis): once the heap holds k rows, a segment whose best
+// possible primary-key value cannot strictly beat the current worst
+// survivor provably contributes nothing — every row it holds loses on
+// the first key before tie-breaks matter. Ties keep scanning (a tying
+// row can still win on later keys or the ID tie-break). The closure
+// reads live heap state and must only run on the goroutine feeding
+// this collector.
+func (t *TopK) AxisSkip(axis uint8, desc bool) func(ZoneView) bool {
+	keyIdx := t.plan.order[0].idx
+	return func(z ZoneView) bool {
+		if t.h.Len() < t.h.Cap() {
+			return false
+		}
+		worst, wok := t.h.Items()[0].vals[keyIdx].Numeric()
+		if !wok {
+			return false
+		}
+		var lo, hi tuple.Value
+		var ok bool
+		switch axis {
+		case 1:
+			lo, hi, ok = z.TickBounds()
+		case 2:
+			lo, hi, ok = z.IDBounds()
+		default:
+			return false
+		}
+		if !ok {
+			return false
+		}
+		if desc {
+			h, _ := hi.Numeric()
+			return h < worst
+		}
+		l, _ := lo.Numeric()
+		return l > worst
+	}
+}
+
 // Err returns the first ordering error observed.
 func (t *TopK) Err() error { return t.err }
 

@@ -1,0 +1,672 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"fungusdb/internal/tuple"
+)
+
+// This file lowers WHERE clauses a second time, into column-wise batch
+// kernels. The per-tuple closures in match.go stay the semantic
+// reference: a batch program exists only for expression shapes whose
+// kernels reproduce the interpreted path bit for bit — same selected
+// rows, same error text, same first-erroring row. Shapes without a
+// kernel simply do not compile (compileVecMatch returns nil) and the
+// executor falls back to tuple-at-a-time matching, so vectorization is
+// never a semantics fork, only a faster route for the common plans:
+// comparisons of a column against a literal or another column, IN over
+// a literal list, LIKE with a literal pattern, bare BOOL columns, and
+// AND/OR/NOT over those.
+//
+// A kernel evaluates one operator over a selection bitmap (one bit per
+// batch row) and writes a result bitmap. Errors keep lazy, per-row
+// semantics: eval returns the index of the first selected row whose
+// evaluation would error under the interpreter, with result bits
+// defined only below that row — exactly the prefix a tuple-at-a-time
+// scan would have produced before aborting.
+
+// vecProg is an immutable compiled batch program, shared by every
+// execution of its plan. Scratch state lives in BatchMatcher.
+type vecProg struct {
+	root vecNode
+	nbuf int // scratch selection-bitmap slots
+	nstr int // string translate-table slots
+}
+
+// vecNode is one operator of a compiled batch program.
+type vecNode interface {
+	// eval computes the operator over the rows selected in sel,
+	// setting out bits for rows where it yields true. It returns the
+	// index of the first selected row whose evaluation errors (b.N
+	// when none) and that row's error. Bits of out at or above the
+	// returned row are unspecified; callers mask before use.
+	eval(m *BatchMatcher, b *tuple.Batch, sel, out []uint64) (int, error)
+}
+
+// batchWords is the bitmap length covering a full batch.
+const batchWords = tuple.BatchRows / 64
+
+// maskBelow clears every bit at row index >= n.
+func maskBelow(words []uint64, n int) {
+	w := n >> 6
+	if w >= len(words) {
+		return
+	}
+	words[w] &= (1 << uint(n&63)) - 1
+	for i := w + 1; i < len(words); i++ {
+		words[i] = 0
+	}
+}
+
+// firstSet returns the lowest set row index, or -1 when empty.
+func firstSet(words []uint64) int {
+	for w, m := range words {
+		if m != 0 {
+			return w<<6 + bits.TrailingZeros64(m)
+		}
+	}
+	return -1
+}
+
+func zeroWords(words []uint64) {
+	for i := range words {
+		words[i] = 0
+	}
+}
+
+// batchNum reads row j of a numeric column as its float64 image —
+// the same conversion colAcc.num applies on the tuple path. ok is
+// false for non-numeric kinds.
+func batchNum(c colAcc, b *tuple.Batch, j int) (float64, bool) {
+	switch c.sys {
+	case 1:
+		return float64(b.Ts[j]), true
+	case 2:
+		return b.Fs[j], true
+	case 3:
+		return float64(b.IDs[j]), true
+	}
+	cv := &b.Cols[c.idx]
+	switch c.kind {
+	case tuple.KindInt:
+		return float64(cv.Ints[j]), true
+	case tuple.KindFloat:
+		return cv.Floats[j], true
+	}
+	return 0, false
+}
+
+// batchValue reads row j of a column as a boxed Value, mirroring
+// colAcc.value.
+func batchValue(c colAcc, b *tuple.Batch, j int) tuple.Value {
+	switch c.sys {
+	case 1:
+		return tuple.Int(b.Ts[j])
+	case 2:
+		return tuple.Float(b.Fs[j])
+	case 3:
+		return tuple.Int(int64(b.IDs[j]))
+	}
+	return b.Cols[c.idx].Value(j)
+}
+
+// --- combinators ----------------------------------------------------
+
+// andNode mirrors the interpreter's short-circuit AND: the right side
+// is only evaluated for rows where the left was true and error-free.
+type andNode struct {
+	l, r vecNode
+	tmp  int
+}
+
+func (nd *andNode) eval(m *BatchMatcher, b *tuple.Batch, sel, out []uint64) (int, error) {
+	tmp := m.bufs[nd.tmp][:len(sel)]
+	ra, errA := nd.l.eval(m, b, sel, tmp)
+	if ra < b.N {
+		maskBelow(tmp, ra)
+	}
+	rb, errB := nd.r.eval(m, b, tmp, out)
+	for i := range out {
+		out[i] &= tmp[i]
+	}
+	// The scan would abort at the earliest erroring row, whichever
+	// side it came from; left errors only exist at ra, right errors
+	// only below it (tmp was masked).
+	if rb < ra {
+		return rb, errB
+	}
+	return ra, errA
+}
+
+// orNode mirrors short-circuit OR: the right side runs only where the
+// left was false and error-free.
+type orNode struct {
+	l, r       vecNode
+	tmpA, tmpB int
+}
+
+func (nd *orNode) eval(m *BatchMatcher, b *tuple.Batch, sel, out []uint64) (int, error) {
+	ltrue := m.bufs[nd.tmpA][:len(sel)]
+	ra, errA := nd.l.eval(m, b, sel, ltrue)
+	if ra < b.N {
+		maskBelow(ltrue, ra)
+	}
+	rsel := m.bufs[nd.tmpB][:len(sel)]
+	for i := range rsel {
+		rsel[i] = sel[i] &^ ltrue[i]
+	}
+	if ra < b.N {
+		maskBelow(rsel, ra)
+	}
+	rb, errB := nd.r.eval(m, b, rsel, out)
+	for i := range out {
+		out[i] |= ltrue[i]
+	}
+	if rb < ra {
+		return rb, errB
+	}
+	return ra, errA
+}
+
+type notNode struct {
+	x   vecNode
+	tmp int
+}
+
+func (nd *notNode) eval(m *BatchMatcher, b *tuple.Batch, sel, out []uint64) (int, error) {
+	tmp := m.bufs[nd.tmp][:len(sel)]
+	rx, err := nd.x.eval(m, b, sel, tmp)
+	for i := range out {
+		out[i] = sel[i] &^ tmp[i]
+	}
+	return rx, err
+}
+
+// --- leaf kernels ---------------------------------------------------
+
+// numLitNode compares a numeric column against a non-NaN numeric
+// constant. check is set for FLOAT columns, whose stored values can be
+// NaN and then error exactly like the interpreter.
+type numLitNode struct {
+	c     colAcc
+	op    BinOp
+	lit   float64
+	check bool
+	err   error
+}
+
+func (nd *numLitNode) eval(m *BatchMatcher, b *tuple.Batch, sel, out []uint64) (int, error) {
+	zeroWords(out)
+	for w, mset := range sel {
+		base := w << 6
+		for mset != 0 {
+			j := base + bits.TrailingZeros64(mset)
+			mset &= mset - 1
+			a, _ := batchNum(nd.c, b, j)
+			if nd.check && math.IsNaN(a) {
+				return j, nd.err
+			}
+			if cmpDecide(nd.op, cmpFloat(a, nd.lit)) {
+				out[w] |= 1 << uint(j&63)
+			}
+		}
+	}
+	return b.N, nil
+}
+
+// numColColNode compares two numeric columns row-wise.
+type numColColNode struct {
+	l, r colAcc
+	op   BinOp
+	err  error
+}
+
+func (nd *numColColNode) eval(m *BatchMatcher, b *tuple.Batch, sel, out []uint64) (int, error) {
+	zeroWords(out)
+	for w, mset := range sel {
+		base := w << 6
+		for mset != 0 {
+			j := base + bits.TrailingZeros64(mset)
+			mset &= mset - 1
+			a, _ := batchNum(nd.l, b, j)
+			bb, _ := batchNum(nd.r, b, j)
+			if math.IsNaN(a) || math.IsNaN(bb) {
+				return j, nd.err
+			}
+			if cmpDecide(nd.op, cmpFloat(a, bb)) {
+				out[w] |= 1 << uint(j&63)
+			}
+		}
+	}
+	return b.N, nil
+}
+
+// strTableNode evaluates a per-string predicate (comparison against a
+// literal, IN set probe, LIKE pattern) over a dictionary-encoded
+// column by translating it once per dictionary entry and then probing
+// the resulting truth table per row — the predicate itself runs
+// O(distinct), not O(rows). Tables cache per segment tag: a tag
+// changes whenever a segment's dictionary could (rebuild, compaction),
+// so a stale table can never be probed.
+type strTableNode struct {
+	idx  int
+	slot int
+	pred func(string) bool
+}
+
+func (nd *strTableNode) eval(m *BatchMatcher, b *tuple.Batch, sel, out []uint64) (int, error) {
+	cv := &b.Cols[nd.idx]
+	tab := m.tabs[nd.slot]
+	if m.tabSeg[nd.slot] != b.Seg || len(tab) < len(cv.Dict) {
+		tab = make([]bool, len(cv.Dict))
+		for d, s := range cv.Dict {
+			tab[d] = nd.pred(s)
+		}
+		m.tabs[nd.slot] = tab
+		m.tabSeg[nd.slot] = b.Seg
+	}
+	codes := cv.Codes
+	zeroWords(out)
+	for w, mset := range sel {
+		base := w << 6
+		for mset != 0 {
+			j := base + bits.TrailingZeros64(mset)
+			mset &= mset - 1
+			if tab[codes[j]] {
+				out[w] |= 1 << uint(j&63)
+			}
+		}
+	}
+	return b.N, nil
+}
+
+// strColColNode compares two string columns row-wise through their
+// dictionaries.
+type strColColNode struct {
+	li, ri int
+	op     BinOp
+}
+
+func (nd *strColColNode) eval(m *BatchMatcher, b *tuple.Batch, sel, out []uint64) (int, error) {
+	lc, rc := &b.Cols[nd.li], &b.Cols[nd.ri]
+	zeroWords(out)
+	for w, mset := range sel {
+		base := w << 6
+		for mset != 0 {
+			j := base + bits.TrailingZeros64(mset)
+			mset &= mset - 1
+			if cmpDecide(nd.op, cmpString(lc.Dict[lc.Codes[j]], rc.Dict[rc.Codes[j]])) {
+				out[w] |= 1 << uint(j&63)
+			}
+		}
+	}
+	return b.N, nil
+}
+
+type boolCmpLitNode struct {
+	idx int
+	op  BinOp
+	lit bool
+}
+
+func (nd *boolCmpLitNode) eval(m *BatchMatcher, b *tuple.Batch, sel, out []uint64) (int, error) {
+	vals := b.Cols[nd.idx].Bools
+	zeroWords(out)
+	for w, mset := range sel {
+		base := w << 6
+		for mset != 0 {
+			j := base + bits.TrailingZeros64(mset)
+			mset &= mset - 1
+			if cmpDecide(nd.op, cmpBool(vals[j], nd.lit)) {
+				out[w] |= 1 << uint(j&63)
+			}
+		}
+	}
+	return b.N, nil
+}
+
+type boolColColNode struct {
+	li, ri int
+	op     BinOp
+}
+
+func (nd *boolColColNode) eval(m *BatchMatcher, b *tuple.Batch, sel, out []uint64) (int, error) {
+	lv, rv := b.Cols[nd.li].Bools, b.Cols[nd.ri].Bools
+	zeroWords(out)
+	for w, mset := range sel {
+		base := w << 6
+		for mset != 0 {
+			j := base + bits.TrailingZeros64(mset)
+			mset &= mset - 1
+			if cmpDecide(nd.op, cmpBool(lv[j], rv[j])) {
+				out[w] |= 1 << uint(j&63)
+			}
+		}
+	}
+	return b.N, nil
+}
+
+// numInNode probes a numeric column against a literal set keyed by
+// float64 image; NaN values miss, matching Compare.
+type numInNode struct {
+	c   colAcc
+	set map[float64]struct{}
+}
+
+func (nd *numInNode) eval(m *BatchMatcher, b *tuple.Batch, sel, out []uint64) (int, error) {
+	zeroWords(out)
+	for w, mset := range sel {
+		base := w << 6
+		for mset != 0 {
+			j := base + bits.TrailingZeros64(mset)
+			mset &= mset - 1
+			a, _ := batchNum(nd.c, b, j)
+			if _, hit := nd.set[a]; hit {
+				out[w] |= 1 << uint(j&63)
+			}
+		}
+	}
+	return b.N, nil
+}
+
+// boolColNode is a bare BOOL column used as the predicate.
+type boolColNode struct {
+	idx int
+}
+
+func (nd *boolColNode) eval(m *BatchMatcher, b *tuple.Batch, sel, out []uint64) (int, error) {
+	vals := b.Cols[nd.idx].Bools
+	zeroWords(out)
+	for w, mset := range sel {
+		base := w << 6
+		for mset != 0 {
+			j := base + bits.TrailingZeros64(mset)
+			mset &= mset - 1
+			if vals[j] {
+				out[w] |= 1 << uint(j&63)
+			}
+		}
+	}
+	return b.N, nil
+}
+
+// litBoolNode is a constant BOOL predicate.
+type litBoolNode struct {
+	val bool
+}
+
+func (nd *litBoolNode) eval(m *BatchMatcher, b *tuple.Batch, sel, out []uint64) (int, error) {
+	if nd.val {
+		copy(out, sel)
+	} else {
+		zeroWords(out)
+	}
+	return b.N, nil
+}
+
+// staticErrNode reproduces operators that error for every tuple they
+// are evaluated on (statically incomparable kinds, NaN literals,
+// non-string LIKE operands): the scan aborts at the first selected
+// row, or selects nothing when no row reaches the operator.
+type staticErrNode struct {
+	err error
+}
+
+func (nd *staticErrNode) eval(m *BatchMatcher, b *tuple.Batch, sel, out []uint64) (int, error) {
+	zeroWords(out)
+	if j := firstSet(sel); j >= 0 {
+		return j, nd.err
+	}
+	return b.N, nil
+}
+
+// --- compiler -------------------------------------------------------
+
+type vecCompiler struct {
+	schema *tuple.Schema
+	nbuf   int
+	nstr   int
+}
+
+func (vc *vecCompiler) buf() int { vc.nbuf++; return vc.nbuf - 1 }
+func (vc *vecCompiler) str() int { vc.nstr++; return vc.nstr - 1 }
+
+// compileVecMatch lowers a predicate into a batch program, or nil when
+// some node has no kernel with interpreter-identical semantics.
+func compileVecMatch(e Expr, schema *tuple.Schema) *vecProg {
+	vc := &vecCompiler{schema: schema}
+	root := vc.boolNode(e)
+	if root == nil {
+		return nil
+	}
+	return &vecProg{root: root, nbuf: vc.nbuf, nstr: vc.nstr}
+}
+
+// boolNode mirrors compileBoolNode's shape dispatch; nil means the
+// shape needs the tuple-at-a-time path.
+func (vc *vecCompiler) boolNode(e Expr) vecNode {
+	switch n := e.(type) {
+	case Bin:
+		switch n.Op {
+		case OpAnd, OpOr:
+			l := vc.boolNode(n.L)
+			if l == nil {
+				return nil
+			}
+			r := vc.boolNode(n.R)
+			if r == nil {
+				return nil
+			}
+			if n.Op == OpAnd {
+				return &andNode{l: l, r: r, tmp: vc.buf()}
+			}
+			return &orNode{l: l, r: r, tmpA: vc.buf(), tmpB: vc.buf()}
+		case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+			return vc.cmp(n)
+		}
+	case Not:
+		x := vc.boolNode(n.X)
+		if x == nil {
+			return nil
+		}
+		return &notNode{x: x, tmp: vc.buf()}
+	case Like:
+		return vc.like(n)
+	case In:
+		return vc.in(n)
+	case Lit:
+		if n.V.Kind() == tuple.KindBool {
+			return &litBoolNode{val: n.V.AsBool()}
+		}
+	case Col:
+		if c, ok := resolveCol(n.Name, vc.schema); ok && c.kind == tuple.KindBool {
+			return &boolColNode{idx: c.idx}
+		}
+	}
+	return nil
+}
+
+func (vc *vecCompiler) cmp(n Bin) vecNode {
+	op := n.Op
+	if c, ok := colRef(n.L, vc.schema); ok {
+		if lit, isLit := n.R.(Lit); isLit {
+			return vc.colLit(c, op, lit.V, false)
+		}
+		if c2, ok2 := colRef(n.R, vc.schema); ok2 {
+			return vc.colCol(c, op, c2)
+		}
+		return nil
+	}
+	if lit, isLit := n.L.(Lit); isLit {
+		if c, ok := colRef(n.R, vc.schema); ok {
+			return vc.colLit(c, flipCmp(op), lit.V, true)
+		}
+	}
+	return nil
+}
+
+// colLit mirrors compileColLitCmp case for case, including the
+// error-message operand order under swap.
+func (vc *vecCompiler) colLit(c colAcc, op BinOp, lit tuple.Value, swap bool) vecNode {
+	kinds := [2]tuple.Kind{c.kind, lit.Kind()}
+	if swap {
+		kinds[0], kinds[1] = kinds[1], kinds[0]
+	}
+	incomparable := fmt.Errorf("query: cannot compare %s and %s", kinds[0], kinds[1])
+	switch {
+	case numericKind(c.kind) && numericKind(lit.Kind()):
+		b, _ := lit.Numeric()
+		if math.IsNaN(b) {
+			return &staticErrNode{err: incomparable}
+		}
+		// INT columns never produce NaN through their float64 image,
+		// so only FLOAT columns carry the per-row check.
+		return &numLitNode{c: c, op: op, lit: b, check: c.kind == tuple.KindFloat, err: incomparable}
+	case c.kind == tuple.KindString && lit.Kind() == tuple.KindString:
+		s := lit.AsString()
+		return &strTableNode{idx: c.idx, slot: vc.str(), pred: func(x string) bool {
+			return cmpDecide(op, cmpString(x, s))
+		}}
+	case c.kind == tuple.KindBool && lit.Kind() == tuple.KindBool:
+		return &boolCmpLitNode{idx: c.idx, op: op, lit: lit.AsBool()}
+	default:
+		return &staticErrNode{err: incomparable}
+	}
+}
+
+// colCol mirrors compileColColCmp.
+func (vc *vecCompiler) colCol(l colAcc, op BinOp, r colAcc) vecNode {
+	switch {
+	case numericKind(l.kind) && numericKind(r.kind):
+		return &numColColNode{l: l, r: r, op: op,
+			err: fmt.Errorf("query: cannot compare %s and %s", l.kind, r.kind)}
+	case l.kind == tuple.KindString && r.kind == tuple.KindString:
+		return &strColColNode{li: l.idx, ri: r.idx, op: op}
+	case l.kind == tuple.KindBool && r.kind == tuple.KindBool:
+		return &boolColColNode{li: l.idx, ri: r.idx, op: op}
+	default:
+		return &staticErrNode{err: fmt.Errorf("query: cannot compare %s and %s", l.kind, r.kind)}
+	}
+}
+
+// like mirrors compileLike for literal patterns; computed patterns
+// fall back.
+func (vc *vecCompiler) like(n Like) vecNode {
+	c, ok := colRef(n.X, vc.schema)
+	if !ok {
+		return nil
+	}
+	lit, isLit := n.Pattern.(Lit)
+	if !isLit {
+		return nil
+	}
+	if lit.V.Kind() == tuple.KindString {
+		pat := lit.V.AsString()
+		if c.kind == tuple.KindString {
+			return &strTableNode{idx: c.idx, slot: vc.str(), pred: func(x string) bool {
+				return likeMatch(x, pat)
+			}}
+		}
+		return &staticErrNode{err: fmt.Errorf("query: LIKE needs STRING operands, got %s and %s", c.kind, tuple.KindString)}
+	}
+	return &staticErrNode{err: fmt.Errorf("query: LIKE needs STRING operands, got %s and %s", c.kind, lit.V.Kind())}
+}
+
+// in mirrors compileIn's hash-set specialisation; other shapes fall
+// back.
+func (vc *vecCompiler) in(n In) vecNode {
+	c, ok := colRef(n.X, vc.schema)
+	if !ok || !allLits(n.List) {
+		return nil
+	}
+	switch {
+	case numericKind(c.kind):
+		set := make(map[float64]struct{}, len(n.List))
+		for _, it := range n.List {
+			if f, ok := it.(Lit).V.Numeric(); ok && !math.IsNaN(f) {
+				set[f] = struct{}{}
+			}
+		}
+		return &numInNode{c: c, set: set}
+	case c.kind == tuple.KindString:
+		set := make(map[string]struct{}, len(n.List))
+		for _, it := range n.List {
+			if v := it.(Lit).V; v.Kind() == tuple.KindString {
+				set[v.AsString()] = struct{}{}
+			}
+		}
+		return &strTableNode{idx: c.idx, slot: vc.str(), pred: func(x string) bool {
+			_, hit := set[x]
+			return hit
+		}}
+	}
+	return nil
+}
+
+// --- matcher --------------------------------------------------------
+
+// BatchMatcher is one execution's batch-program state: scratch
+// selection bitmaps and per-segment string translate tables. It is not
+// safe for concurrent use; executors create one per shard scan.
+type BatchMatcher struct {
+	prog   *vecProg
+	base   []uint64
+	out    []uint64
+	bufs   [][]uint64
+	tabSeg []uint64
+	tabs   [][]bool
+}
+
+func newBatchMatcher(prog *vecProg) *BatchMatcher {
+	m := &BatchMatcher{
+		prog: prog,
+		base: make([]uint64, batchWords),
+		out:  make([]uint64, batchWords),
+	}
+	if prog != nil {
+		m.bufs = make([][]uint64, prog.nbuf)
+		for i := range m.bufs {
+			m.bufs[i] = make([]uint64, batchWords)
+		}
+		m.tabSeg = make([]uint64, prog.nstr)
+		m.tabs = make([][]bool, prog.nstr)
+	}
+	return m
+}
+
+// Match evaluates the WHERE program over one batch, returning the
+// selection bitmap of matching live rows, the first erroring row (b.N
+// when none) and its error. Bits at or above the error row are
+// cleared: they are exactly the rows a tuple-at-a-time scan would
+// never have reached. The bitmap aliases matcher scratch and is valid
+// until the next Match call.
+func (m *BatchMatcher) Match(b *tuple.Batch) ([]uint64, int, error) {
+	nw := len(b.Live)
+	sel := m.base[:nw]
+	copy(sel, b.Live)
+	if m.prog == nil {
+		return sel, b.N, nil
+	}
+	out := m.out[:nw]
+	errRow, err := m.prog.root.eval(m, b, sel, out)
+	if errRow < b.N {
+		maskBelow(out, errRow)
+	}
+	return out, errRow, err
+}
+
+// NewBatchMatcher returns a fresh batch evaluator for the plan's WHERE
+// clause, or nil when the clause has no batch lowering (the executor
+// then matches tuple at a time — same result, slower). Mirrors Match's
+// compiled-path gate: unbound placeholders disable it.
+func (p *Plan) NewBatchMatcher(params []tuple.Value) *BatchMatcher {
+	if p.where == nil {
+		return newBatchMatcher(nil)
+	}
+	if p.vec == nil || len(params) != 0 {
+		return nil
+	}
+	return newBatchMatcher(p.vec)
+}

@@ -315,6 +315,11 @@ type StatsResponse struct {
 	// tuples those segments held — work the scan paths never did.
 	SegmentsPruned uint64 `json:"segments_pruned"`
 	TuplesSkipped  uint64 `json:"tuples_skipped"`
+	// BatchesScanned counts column batches handed to the vectorized
+	// scan route; RowsVectorized is the live rows those batches carried
+	// — rows matched kernel-wise instead of tuple at a time.
+	BatchesScanned uint64 `json:"batches_scanned"`
+	RowsVectorized uint64 `json:"rows_vectorized"`
 	// WALShards and WALGeneration describe the persistence layout (one
 	// WAL file per shard, snapshots committed by generation); both are
 	// omitted for in-memory tables.
@@ -345,6 +350,7 @@ func (s *Server) tableStats(w http.ResponseWriter, r *http.Request) {
 		Distilled: c.DistilledRot + c.DistilledQuery,
 		Queries:   c.Queries, Ticks: c.Ticks, CaptureRate: c.CaptureRate(),
 		SegmentsPruned: st.SegsPruned, TuplesSkipped: st.TuplesSkipped,
+		BatchesScanned: st.BatchesScanned, RowsVectorized: st.RowsVectorized,
 		WALShards: wi.LogShards, WALGeneration: wi.Generation,
 		WALSyncMode: wi.SyncMode, GroupCommits: wi.GroupCommits, AvgGroupSize: wi.AvgGroupSize,
 		Persistent: wi.Persistent,

@@ -1,6 +1,7 @@
 package sketch
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"math/bits"
@@ -54,8 +55,10 @@ func MustBloom(expectedItems uint64, fpRate float64) *Bloom {
 // hashes derives the double-hashing pair from one FNV pass: h2 is a
 // splitmix64 finalisation of h1 (odd, so the stride cycles every
 // position). One pass over the bytes instead of two — this is the
-// ingest hot path via the segment zone maps. Filters are in-memory
-// only, so the bit layout is free to change between builds.
+// ingest hot path via the segment zone maps. Persisted filters (the
+// zone-map records inside WAL snapshots) bake this bit layout in:
+// changing the hash derivation requires bumping the zone blob version
+// in internal/storage so stale filters are discarded, not misread.
 func hashes(item []byte) (h1, h2 uint64) {
 	h1 = fnv64a(0, item)
 	return h1, deriveH2(h1)
@@ -104,6 +107,47 @@ func (b *Bloom) MayContain(item []byte) bool {
 
 // Added returns the number of Add calls.
 func (b *Bloom) Added() uint64 { return b.added }
+
+// AppendTo serialises the filter: nbits, k, added, then the bit words,
+// all as uvarints. The layout pairs with BloomFrom.
+func (b *Bloom) AppendTo(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, b.nbits)
+	dst = binary.AppendUvarint(dst, uint64(b.k))
+	dst = binary.AppendUvarint(dst, b.added)
+	for _, w := range b.bits {
+		dst = binary.AppendUvarint(dst, w)
+	}
+	return dst
+}
+
+// BloomFrom deserialises a filter written by AppendTo, returning it and
+// the number of bytes consumed.
+func BloomFrom(data []byte) (*Bloom, int, error) {
+	pos := 0
+	read := func() (uint64, bool) {
+		v, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return 0, false
+		}
+		pos += n
+		return v, true
+	}
+	nbits, ok1 := read()
+	k, ok2 := read()
+	added, ok3 := read()
+	if !ok1 || !ok2 || !ok3 || k == 0 || nbits == 0 {
+		return nil, 0, fmt.Errorf("sketch: bloom decode: bad header")
+	}
+	words := make([]uint64, (nbits+63)/64)
+	for i := range words {
+		w, ok := read()
+		if !ok {
+			return nil, 0, fmt.Errorf("sketch: bloom decode: truncated words")
+		}
+		words[i] = w
+	}
+	return &Bloom{bits: words, nbits: nbits, k: uint32(k), added: added}, pos, nil
+}
 
 // Bytes returns the approximate memory footprint.
 func (b *Bloom) Bytes() int { return 8 * len(b.bits) }

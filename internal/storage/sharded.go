@@ -136,6 +136,8 @@ func (ss *ShardedStore) Stats() Stats {
 		out.SegsDropped += st.SegsDropped
 		out.SegsPruned += st.SegsPruned
 		out.TuplesSkipped += st.TuplesSkipped
+		out.BatchesScanned += st.BatchesScanned
+		out.RowsVectorized += st.RowsVectorized
 	}
 	return out
 }
@@ -167,12 +169,17 @@ func (ss *ShardedStore) Evict(id tuple.ID) error {
 	return ss.shards[ss.ShardOf(id)].Evict(id)
 }
 
-// cursor walks one shard's live tuples in ID order without callbacks,
-// so Scan can k-way merge shards.
+// cursor walks one shard's live rows in ID order without callbacks, so
+// Scan can k-way merge shards. Each cursor decodes into its own scratch
+// tuple and remembers the row behind it, so the merge loop can write
+// freshness/infection mutations back after every callback.
 type cursor struct {
 	s    *Store
 	seg  int
 	slot int
+	buf  tuple.Tuple
+	cur  *segment // segment of the row buf was decoded from
+	curJ int
 }
 
 func (c *cursor) next() *tuple.Tuple {
@@ -183,11 +190,13 @@ func (c *cursor) next() *tuple.Tuple {
 			c.slot = 0
 			continue
 		}
-		for c.slot < len(sg.tuples) {
+		for c.slot < sg.rows() {
 			j := c.slot
 			c.slot++
-			if !sg.dead[j] {
-				return &sg.tuples[j]
+			if sg.liveAt(j) {
+				sg.readRow(j, &c.buf)
+				c.cur, c.curJ = sg, j
+				return &c.buf
 			}
 		}
 		c.seg++
@@ -196,10 +205,14 @@ func (c *cursor) next() *tuple.Tuple {
 	return nil
 }
 
+// writeBack persists the scan-mutable fields of the current row.
+func (c *cursor) writeBack() { c.cur.writeBack(c.curJ, &c.buf) }
+
 // Scan calls fn for every live tuple in global insertion (time) order,
 // merging the shards by ID. The pointer passed to fn is valid only
-// during the call; fn must not evict or insert. Returning false stops
-// the scan.
+// during the call; fn must not evict or insert, and may mutate only
+// freshness and infection state (written back after each call).
+// Returning false stops the scan.
 func (ss *ShardedStore) Scan(fn func(*tuple.Tuple) bool) {
 	if len(ss.shards) == 1 {
 		ss.shards[0].Scan(fn)
@@ -221,7 +234,9 @@ func (ss *ShardedStore) Scan(fn func(*tuple.Tuple) bool) {
 		if best < 0 {
 			return
 		}
-		if !fn(heads[best]) {
+		ok := fn(heads[best])
+		cursors[best].writeBack()
+		if !ok {
 			return
 		}
 		heads[best] = cursors[best].next()
@@ -237,6 +252,18 @@ func (ss *ShardedStore) ScanShard(i int, fn func(*tuple.Tuple) bool) {
 // Store.ScanPruned), reporting what was skipped.
 func (ss *ShardedStore) ScanShardPruned(i int, skip func(*ZoneMap) bool, fn func(*tuple.Tuple) bool) PruneStats {
 	return ss.shards[i].ScanPruned(skip, fn)
+}
+
+// ScanShardBatches scans only shard i as columnar batches (see
+// Store.ScanBatches), reporting what was pruned.
+func (ss *ShardedStore) ScanShardBatches(i int, skip func(*ZoneMap) bool, fn func(*tuple.Batch) bool) PruneStats {
+	return ss.shards[i].ScanBatches(skip, fn)
+}
+
+// ScanShardAxis scans only shard i in the chosen direction along the ID
+// axis (see Store.ScanAxis), reporting what was skipped.
+func (ss *ShardedStore) ScanShardAxis(i int, reverse bool, skip func(*ZoneMap) bool, fn func(*tuple.Tuple) bool) PruneStats {
+	return ss.shards[i].ScanAxis(reverse, skip, fn)
 }
 
 // ScanIDs appends the IDs of all live tuples to dst in global insertion

@@ -3,7 +3,7 @@ package storage
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"math/bits"
 	"sync/atomic"
 
 	"fungusdb/internal/clock"
@@ -40,13 +40,17 @@ type Store struct {
 	evictions uint64 // tombstones ever written
 	drops     uint64 // whole segments reclaimed
 
-	// Pruning counters are atomic: pruned scans run under the engine's
-	// shard read lock, so any number of them observe and skip segments
-	// concurrently.
-	segsPruned    atomic.Uint64 // segments skipped wholesale by pruned scans
-	tuplesSkipped atomic.Uint64 // live tuples inside those segments
+	// Pruning and batch counters are atomic: pruned scans run under the
+	// engine's shard read lock, so any number of them observe and skip
+	// segments concurrently.
+	segsPruned     atomic.Uint64 // segments skipped wholesale by pruned scans
+	tuplesSkipped  atomic.Uint64 // live tuples inside those segments
+	batchesScanned atomic.Uint64 // column batches handed to vectorized scans
+	rowsVectorized atomic.Uint64 // live rows inside those batches
 
-	restoreSeg int // segment index of the last Restore, -1 outside recovery
+	restoreSeg   int                      // segment index of the last Restore, -1 outside recovery
+	pendingZones map[tuple.ID]pendingZone // snapshot zone summaries staged for install, keyed by segment base
+	upScratch    tuple.Tuple              // Update decode buffer (Update runs under the shard write lock)
 }
 
 // Option configures a Store.
@@ -122,6 +126,10 @@ type Stats struct {
 	// skip time (work the scan never did).
 	SegsPruned    uint64
 	TuplesSkipped uint64
+	// BatchesScanned counts column batches handed out by vectorized
+	// scans; RowsVectorized is the live rows those batches carried.
+	BatchesScanned uint64
+	RowsVectorized uint64
 }
 
 // Stats returns a snapshot of store counters.
@@ -133,15 +141,17 @@ func (s *Store) Stats() Stats {
 		}
 	}
 	return Stats{
-		Live:          s.live,
-		Bytes:         s.bytes,
-		Inserted:      uint64(s.slotOf(s.nextID)),
-		Evicted:       s.evictions,
-		SegsTotal:     len(s.segs),
-		SegsLive:      liveSegs,
-		SegsDropped:   s.drops,
-		SegsPruned:    s.segsPruned.Load(),
-		TuplesSkipped: s.tuplesSkipped.Load(),
+		Live:           s.live,
+		Bytes:          s.bytes,
+		Inserted:       uint64(s.slotOf(s.nextID)),
+		Evicted:        s.evictions,
+		SegsTotal:      len(s.segs),
+		SegsLive:       liveSegs,
+		SegsDropped:    s.drops,
+		SegsPruned:     s.segsPruned.Load(),
+		TuplesSkipped:  s.tuplesSkipped.Load(),
+		BatchesScanned: s.batchesScanned.Load(),
+		RowsVectorized: s.rowsVectorized.Load(),
 	}
 }
 
@@ -234,7 +244,16 @@ func (s *Store) Restore(tp tuple.Tuple) error {
 		s.restoreSeg = segIdx
 	}
 	if s.segs[segIdx] == nil {
-		s.segs[segIdx] = newSegment(s.schema, s.idAt(segIdx*s.segSize), s.segSize, s.stride)
+		sg := newSegment(s.schema, s.idAt(segIdx*s.segSize), s.segSize, s.stride)
+		if pz, ok := s.pendingZones[sg.base]; ok {
+			// A snapshot carried this segment's zone map: install it and
+			// let append skip the per-row fold for every row it already
+			// covers (IDs at or below the summary's high-water mark).
+			sg.zone = pz.zone
+			sg.zoneCoverMax = pz.coverMax
+			sg.zoneInstall = true
+		}
+		s.segs[segIdx] = sg
 	}
 	s.segs[segIdx].append(tp)
 	s.nextID = tp.ID + s.stride
@@ -248,6 +267,7 @@ func (s *Store) Restore(tp tuple.Tuple) error {
 // the drop-when-empty invariant. A dense final segment stays open as the
 // normal insert tail.
 func (s *Store) FinishRestore() {
+	s.pendingZones = nil
 	if s.restoreSeg < 0 || s.restoreSeg >= len(s.segs) {
 		return
 	}
@@ -281,23 +301,33 @@ func (s *Store) insertRaw(tp tuple.Tuple) {
 
 // Get returns a copy of the live tuple with the given id.
 func (s *Store) Get(id tuple.ID) (tuple.Tuple, error) {
-	if tp := s.peek(id); tp != nil {
-		return tp.Clone(), nil
+	sg, j := s.locate(id)
+	if sg == nil {
+		return tuple.Tuple{}, ErrNotFound
 	}
-	return tuple.Tuple{}, ErrNotFound
+	var tp tuple.Tuple
+	sg.readRow(j, &tp)
+	return tp, nil
 }
 
 // Contains reports whether id refers to a live tuple.
-func (s *Store) Contains(id tuple.ID) bool { return s.peek(id) != nil }
+func (s *Store) Contains(id tuple.ID) bool {
+	sg, _ := s.locate(id)
+	return sg != nil
+}
 
-// peek returns a pointer to the live tuple with id, or nil. Internal:
-// callers must not retain the pointer across mutations.
-func (s *Store) peek(id tuple.ID) *tuple.Tuple {
+// locate returns the segment and row index of the live tuple with id,
+// or (nil, -1).
+func (s *Store) locate(id tuple.ID) (*segment, int) {
 	sg := s.segOf(id)
 	if sg == nil {
-		return nil
+		return nil, -1
 	}
-	return sg.get(id)
+	j := sg.liveSlot(id)
+	if j < 0 {
+		return nil, -1
+	}
+	return sg, j
 }
 
 func (s *Store) segOf(id tuple.ID) *segment {
@@ -313,38 +343,40 @@ func (s *Store) segOf(id tuple.ID) *segment {
 
 // Update applies fn to the live tuple with id in place. fn may mutate
 // freshness and infection state only; it must not change ID, T or the
-// attributes (use UpdateAttrs for those — the zone maps summarise
-// attributes, and this path runs once per touched tuple per decay
-// tick, too hot for change detection).
+// attributes (use UpdateAttrs for those — the columnar layout only
+// writes freshness and infection back, and this path runs once per
+// touched tuple per decay tick, too hot for change detection).
 func (s *Store) Update(id tuple.ID, fn func(*tuple.Tuple)) error {
-	sg := s.segOf(id)
+	sg, j := s.locate(id)
 	if sg == nil {
 		return ErrNotFound
 	}
-	tp := sg.get(id)
-	if tp == nil {
-		return ErrNotFound
-	}
-	before := tp.Size()
-	fn(tp)
-	delta := tp.Size() - before
-	s.bytes += delta
-	sg.bytes += delta
+	sg.readRow(j, &s.upScratch)
+	fn(&s.upScratch)
+	sg.writeBack(j, &s.upScratch)
 	return nil
 }
 
 // UpdateAttrs applies fn to the live tuple with id, allowing attribute
-// mutation: the segment's zone map is invalidated until the next
-// Compact rebuilds it, so pruning can never trust bounds the mutation
-// outdated. fn must not change ID or T.
+// mutation: the new values are written back into the columns and the
+// segment's zone map is invalidated until the next Compact rebuilds it,
+// so pruning can never trust bounds the mutation outdated. fn must not
+// change ID or T.
 func (s *Store) UpdateAttrs(id tuple.ID, fn func(*tuple.Tuple)) error {
-	sg := s.segOf(id)
+	sg, j := s.locate(id)
 	if sg == nil {
 		return ErrNotFound
 	}
-	if err := s.Update(id, fn); err != nil {
-		return err
+	sg.readRow(j, &s.upScratch)
+	before := s.upScratch.Size()
+	fn(&s.upScratch)
+	sg.writeBack(j, &s.upScratch)
+	for i := range sg.cols {
+		sg.cols[i].setVal(j, s.upScratch.Attrs[i])
 	}
+	delta := s.upScratch.Size() - before
+	s.bytes += delta
+	sg.bytes += delta
 	sg.zone.markDirty()
 	return nil
 }
@@ -362,11 +394,15 @@ func (s *Store) Evict(id tuple.ID) error {
 	}
 	sg := s.segs[segIdx]
 	slot := sg.slot(id)
-	if slot < 0 || !sg.kill(slot) {
+	if slot < 0 {
+		return ErrNotFound
+	}
+	freed, ok := sg.kill(slot)
+	if !ok {
 		return ErrNotFound
 	}
 	s.live--
-	s.bytes -= sg.tuples[slot].Size()
+	s.bytes -= freed
 	s.evictions++
 	if sg.live == 0 && sg.sealed {
 		s.dropSegment(segIdx)
@@ -383,21 +419,47 @@ func (s *Store) dropSegment(i int) {
 }
 
 // Scan calls fn for every live tuple in insertion (time) order. The
-// pointer passed to fn is valid only during the call; fn must not evict
-// or insert. Returning false stops the scan.
+// tuple is decoded from the columns into a scratch buffer; the pointer
+// passed to fn is valid only during the call, and fn must not evict or
+// insert. Mutations fn makes to freshness and infection state — the
+// only fields the fungus contract allows a scan to touch — are written
+// back into the columns after each call. Returning false stops the
+// scan.
 func (s *Store) Scan(fn func(*tuple.Tuple) bool) {
 	s.ScanPruned(nil, fn)
 }
 
-// ScanPruned is Scan with segment pruning: before a segment's tuples
-// are visited, skip is consulted with the segment's zone map and may
-// veto the whole segment (skip must only return true when no live
-// tuple can match — zone maps guarantee bounds and bloom membership
-// are conservative). A nil skip degrades to a plain Scan. Dirty or
-// empty summaries are never offered to skip. Returns what was pruned;
-// the store's lifetime counters accumulate the same numbers.
+// ScanSystem hands fn the raw system columns of every segment holding
+// live tuples, in insertion (time) order: row IDs, insertion ticks,
+// freshness values, and the liveness bitmap (set bits mark live rows;
+// bits past the appended prefix are never set). fn may mutate fs in
+// place — that is the columnar equivalent of the freshness write-back a
+// Scan performs — but must treat the other slices as read-only and must
+// not evict or insert. Returning false stops the scan. This exists so
+// decay laws that touch only system fields can tick without
+// materialising tuples row by row.
+func (s *Store) ScanSystem(fn func(ids []tuple.ID, ts []int64, fs []float64, live []uint64) bool) {
+	for i := s.first; i < len(s.segs); i++ {
+		sg := s.segs[i]
+		if sg == nil || sg.live == 0 {
+			continue
+		}
+		if !fn(sg.ids, sg.ts, sg.fs, sg.liveBits) {
+			return
+		}
+	}
+}
+
+// ScanPruned is Scan with segment pruning: before a segment's rows are
+// visited, skip is consulted with the segment's zone map and may veto
+// the whole segment (skip must only return true when no live tuple can
+// match — zone maps guarantee bounds and bloom membership are
+// conservative). A nil skip degrades to a plain Scan. Dirty or empty
+// summaries are never offered to skip. Returns what was pruned; the
+// store's lifetime counters accumulate the same numbers.
 func (s *Store) ScanPruned(skip func(*ZoneMap) bool, fn func(*tuple.Tuple) bool) PruneStats {
 	var ps PruneStats
+	var scratch tuple.Tuple
 	for i := s.first; i < len(s.segs); i++ {
 		sg := s.segs[i]
 		if sg == nil {
@@ -408,11 +470,102 @@ func (s *Store) ScanPruned(skip func(*ZoneMap) bool, fn func(*tuple.Tuple) bool)
 			ps.Tuples += sg.live
 			continue
 		}
-		for j := range sg.tuples {
-			if sg.dead[j] {
+		if !sg.scanLive(&scratch, fn) {
+			s.notePruned(ps)
+			return ps
+		}
+	}
+	s.notePruned(ps)
+	return ps
+}
+
+// scanLive drives fn over the segment's live rows in ID order, writing
+// freshness/infection mutations back after every call. Reports false
+// when fn stopped the scan.
+func (sg *segment) scanLive(scratch *tuple.Tuple, fn func(*tuple.Tuple) bool) bool {
+	for w, m := range sg.liveBits {
+		base := w << 6
+		for m != 0 {
+			j := base + bits.TrailingZeros64(m)
+			m &= m - 1
+			sg.readRow(j, scratch)
+			ok := fn(scratch)
+			sg.writeBack(j, scratch)
+			if !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ScanBatches drives fn over the extent's live rows as columnar
+// batches, segment-pruning with skip exactly like ScanPruned. Every
+// batch's views alias segment memory and are valid only during the
+// call; fn must not evict, insert, or mutate through them. Batches with
+// no live rows are elided. Returning false stops the scan.
+func (s *Store) ScanBatches(skip func(*ZoneMap) bool, fn func(*tuple.Batch) bool) PruneStats {
+	var ps PruneStats
+	var b tuple.Batch
+	var batches, rows uint64
+	for i := s.first; i < len(s.segs); i++ {
+		sg := s.segs[i]
+		if sg == nil {
+			continue
+		}
+		if skip != nil && sg.live > 0 && sg.zone.usable() && skip(sg.zone) {
+			ps.Segments++
+			ps.Tuples += sg.live
+			continue
+		}
+		for start := 0; start < sg.rows(); start += tuple.BatchRows {
+			sg.fillBatch(start, &b)
+			if b.Alive == 0 {
 				continue
 			}
-			if !fn(&sg.tuples[j]) {
+			batches++
+			rows += uint64(b.Alive)
+			if !fn(&b) {
+				s.noteBatches(batches, rows)
+				s.notePruned(ps)
+				return ps
+			}
+		}
+	}
+	s.noteBatches(batches, rows)
+	s.notePruned(ps)
+	return ps
+}
+
+// ScanAxis is ScanPruned with a caller-chosen direction: reverse=true
+// visits segments (and rows within them) from the top of the ID axis
+// down. Ordered top-k scans use it with a heap-state-aware skip so
+// ORDER BY _t/_id LIMIT k queries stop consulting segments whose zone
+// bounds cannot beat the current worst survivor.
+func (s *Store) ScanAxis(reverse bool, skip func(*ZoneMap) bool, fn func(*tuple.Tuple) bool) PruneStats {
+	if !reverse {
+		return s.ScanPruned(skip, fn)
+	}
+	var ps PruneStats
+	var scratch tuple.Tuple
+	for i := len(s.segs) - 1; i >= s.first; i-- {
+		sg := s.segs[i]
+		if sg == nil {
+			continue
+		}
+		if skip != nil && sg.live > 0 && sg.zone.usable() && skip(sg.zone) {
+			ps.Segments++
+			ps.Tuples += sg.live
+			continue
+		}
+		for j := sg.rows() - 1; j >= 0; j-- {
+			if !sg.liveAt(j) {
+				continue
+			}
+			sg.readRow(j, &scratch)
+			ok := fn(&scratch)
+			sg.writeBack(j, &scratch)
+			if !ok {
 				s.notePruned(ps)
 				return ps
 			}
@@ -420,6 +573,14 @@ func (s *Store) ScanPruned(skip func(*ZoneMap) bool, fn func(*tuple.Tuple) bool)
 	}
 	s.notePruned(ps)
 	return ps
+}
+
+// noteBatches folds one batch scan's volume into the lifetime counters.
+func (s *Store) noteBatches(batches, rows uint64) {
+	if batches > 0 {
+		s.batchesScanned.Add(batches)
+		s.rowsVectorized.Add(rows)
+	}
 }
 
 // notePruned folds one scan's pruning outcome into the lifetime
@@ -496,29 +657,6 @@ func (s *Store) NextLive(id tuple.ID) (tuple.ID, bool) {
 	return 0, false
 }
 
-// lastLiveAtOrBelow returns the greatest live tuple ID <= bound in sg.
-func (sg *segment) lastLiveAtOrBelow(bound tuple.ID) (tuple.ID, bool) {
-	// Index of the last tuple with ID <= bound.
-	j := sort.Search(len(sg.tuples), func(k int) bool { return sg.tuples[k].ID > bound }) - 1
-	for ; j >= 0; j-- {
-		if !sg.dead[j] {
-			return sg.tuples[j].ID, true
-		}
-	}
-	return 0, false
-}
-
-// firstLiveAtOrAbove returns the least live tuple ID >= bound in sg.
-func (sg *segment) firstLiveAtOrAbove(bound tuple.ID) (tuple.ID, bool) {
-	j := sort.Search(len(sg.tuples), func(k int) bool { return sg.tuples[k].ID >= bound })
-	for ; j < len(sg.tuples); j++ {
-		if !sg.dead[j] {
-			return sg.tuples[j].ID, true
-		}
-	}
-	return 0, false
-}
-
 // FirstLive returns the smallest live tuple ID, with ok=false when the
 // extent is empty.
 func (s *Store) FirstLive() (tuple.ID, bool) {
@@ -567,26 +705,17 @@ func (s *Store) Compact() int {
 			continue
 		}
 		if sg.live == 0 {
-			reclaimed += len(sg.tuples)
+			reclaimed += sg.rows()
 			s.dropSegment(i)
 			continue
 		}
-		if sg.live == len(sg.tuples) {
+		if sg.live == sg.rows() {
 			if sg.zone.dirty {
 				sg.zone.rebuild(sg)
 			}
 			continue
 		}
-		kept := make([]tuple.Tuple, 0, sg.live)
-		for j := range sg.tuples {
-			if !sg.dead[j] {
-				kept = append(kept, sg.tuples[j])
-			}
-		}
-		reclaimed += len(sg.tuples) - len(kept)
-		sg.tuples = kept
-		sg.dead = make([]bool, len(kept))
-		sg.sparse = true
+		reclaimed += sg.compactInPlace()
 		sg.zone.rebuild(sg)
 	}
 	return reclaimed

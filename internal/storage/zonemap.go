@@ -52,8 +52,14 @@ type colZone struct {
 	fLo, fHi float64
 	sLo, sHi string
 	bloom    *sketch.Bloom // STRING columns only
-	lastStr  string        // last string folded into the bloom (dedup memo)
+	lastCode uint32        // dictionary code last folded (dedup memo)
+	hasLast  bool
 }
+
+// TestHookZoneFold, when non-nil, observes every per-row zone fold.
+// Recovery tests use it to prove that snapshot-installed summaries skip
+// the per-tuple rebuild. Not for production use.
+var TestHookZoneFold func()
 
 // newZoneMap builds an empty summary for a segment of the given tuple
 // capacity.
@@ -68,31 +74,36 @@ func newZoneMap(schema *tuple.Schema, capacity int) *ZoneMap {
 	return z
 }
 
-// add folds one appended tuple into the summary.
-func (z *ZoneMap) add(tp *tuple.Tuple) {
+// fold folds row j of the segment into the summary, reading the typed
+// column slices directly — no tuple is materialised on the insert hot
+// path.
+func (z *ZoneMap) fold(sg *segment, j int) {
+	if TestHookZoneFold != nil {
+		TestHookZoneFold()
+	}
 	first := !z.seen
 	if first {
 		z.seen = true
-		z.tMin, z.tMax = int64(tp.T), int64(tp.T)
-		z.idMin, z.idMax = tp.ID, tp.ID
+		z.tMin, z.tMax = sg.ts[j], sg.ts[j]
+		z.idMin, z.idMax = sg.ids[j], sg.ids[j]
 	} else {
-		if t := int64(tp.T); t < z.tMin {
+		if t := sg.ts[j]; t < z.tMin {
 			z.tMin = t
 		} else if t > z.tMax {
 			z.tMax = t
 		}
-		if tp.ID < z.idMin {
-			z.idMin = tp.ID
-		}
-		if tp.ID > z.idMax {
-			z.idMax = tp.ID
+		if id := sg.ids[j]; id < z.idMin {
+			z.idMin = id
+		} else if id > z.idMax {
+			z.idMax = id
 		}
 	}
 	for i := range z.cols {
 		c := &z.cols[i]
+		col := &sg.cols[i]
 		switch c.kind {
 		case tuple.KindInt:
-			v := tp.Attrs[i].AsInt()
+			v := col.ints[j]
 			if first {
 				c.iLo, c.iHi, c.ok = v, v, true
 			} else if v < c.iLo {
@@ -101,7 +112,7 @@ func (z *ZoneMap) add(tp *tuple.Tuple) {
 				c.iHi = v
 			}
 		case tuple.KindFloat:
-			v := tp.Attrs[i].AsFloat()
+			v := col.floats[j]
 			switch {
 			case math.IsNaN(v):
 				// NaN is unordered: no bounds can cover it, so the
@@ -117,29 +128,30 @@ func (z *ZoneMap) add(tp *tuple.Tuple) {
 				}
 			}
 		case tuple.KindString:
-			v := tp.Attrs[i].AsString()
-			if first {
-				c.sLo, c.sHi, c.ok = v, v, true
-				c.bloom.AddString(v)
-				c.lastStr = v
-				break
-			}
-			if v == c.lastStr {
+			code := col.codes[j]
+			if !first && c.hasLast && code == c.lastCode {
 				// Insertion-time clustering makes value repeats the
 				// common case; a repeat changes neither the bounds nor
 				// the bloom (sets are idempotent), so skip the hash.
 				break
 			}
-			if v < c.sLo {
-				c.sLo = v
-			} else if v > c.sHi {
-				c.sHi = v
+			v := col.dict[code]
+			if first {
+				c.sLo, c.sHi, c.ok = v, v, true
+			} else {
+				if v < c.sLo {
+					c.sLo = v
+				} else if v > c.sHi {
+					c.sHi = v
+				}
 			}
-			c.bloom.AddString(v)
-			c.lastStr = v
+			if c.bloom != nil {
+				c.bloom.AddString(v)
+			}
+			c.lastCode, c.hasLast = code, true
 		case tuple.KindBool:
 			var v int64
-			if tp.Attrs[i].AsBool() {
+			if col.bools[j] {
 				v = 1
 			}
 			if first {
@@ -153,21 +165,21 @@ func (z *ZoneMap) add(tp *tuple.Tuple) {
 	}
 }
 
-// rebuild recomputes the summary over the segment's live tuples,
+// rebuild recomputes the summary over the segment's live rows,
 // tightening eviction-loosened bounds and clearing the dirty flag. The
 // bloom is sized to the segment's full capacity, not its current fill:
 // an unsealed segment keeps appending after a rebuild, and an
 // undersized filter would saturate into uselessness. The caller must
 // hold the shard's write lock.
 func (z *ZoneMap) rebuild(sg *segment) {
-	capacity := cap(sg.tuples)
+	capacity := sg.capacity
 	if capacity < 1 {
 		capacity = 1
 	}
 	fresh := newZoneMap(z.schema, capacity)
-	for j := range sg.tuples {
-		if !sg.dead[j] {
-			fresh.add(&sg.tuples[j])
+	for j := range sg.ids {
+		if sg.liveAt(j) {
+			fresh.fold(sg, j)
 		}
 	}
 	*z = *fresh

@@ -21,7 +21,10 @@ const (
 	LogFile      = "wal.log"
 )
 
-var snapshotMagic = [8]byte{'F', 'D', 'B', 'S', 'N', 'A', 'P', '1'}
+var (
+	snapshotMagicV1 = [8]byte{'F', 'D', 'B', 'S', 'N', 'A', 'P', '1'}
+	snapshotMagic   = [8]byte{'F', 'D', 'B', 'S', 'N', 'A', 'P', '2'}
+)
 
 // Extent is the store surface persistence needs. Both *storage.Store
 // and *storage.ShardedStore implement it: snapshots are written in
@@ -39,10 +42,25 @@ type Extent interface {
 	Evict(id tuple.ID) error
 }
 
+// zoneSaver and zoneLoader are the optional extent surfaces for
+// carrying segment zone maps through snapshots. Extents that lack them
+// (e.g. the shard-merge collector) simply rebuild summaries from the
+// restored tuples — persistence is an optimisation, never required.
+type zoneSaver interface {
+	AppendZones(dst []byte) []byte
+}
+
+type zoneLoader interface {
+	InstallZones(blob []byte)
+}
+
 // WriteSnapshot serialises every live tuple of store (with exact
 // freshness and infection state) to path, atomically via a temp file +
-// rename. Layout: magic, uvarint nextID, uvarint tuple count, tuples,
-// crc32c of everything after the magic.
+// rename. Layout: magic, uvarint nextID, uvarint tuple count, a
+// length-prefixed zone-map blob (empty when the extent has none), the
+// tuples, then crc32c of everything after the magic. The zone blob sits
+// before the tuples so recovery can stage the summaries ahead of the
+// restore stream.
 func WriteSnapshot(path string, store Extent) (err error) {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -64,6 +82,12 @@ func WriteSnapshot(path string, store Extent) (err error) {
 	var hdr []byte
 	hdr = binary.AppendUvarint(hdr, uint64(store.NextID()))
 	hdr = binary.AppendUvarint(hdr, uint64(store.Len()))
+	var zones []byte
+	if zs, ok := store.(zoneSaver); ok {
+		zones = zs.AppendZones(nil)
+	}
+	hdr = binary.AppendUvarint(hdr, uint64(len(zones)))
+	hdr = append(hdr, zones...)
 	if _, err = w.Write(hdr); err != nil {
 		return fmt.Errorf("wal: snapshot header: %w", err)
 	}
@@ -130,9 +154,20 @@ func loadSnapshot(path string, store Extent) (tuple.ID, error) {
 	if len(data) < len(snapshotMagic)+4 {
 		return 0, fmt.Errorf("wal: snapshot truncated (%d bytes)", len(data))
 	}
+	v2 := true
 	for i, b := range snapshotMagic {
 		if data[i] != b {
-			return 0, fmt.Errorf("wal: bad snapshot magic")
+			v2 = false
+			break
+		}
+	}
+	if !v2 {
+		// A v1 snapshot (pre zone-map persistence) restores fine — the
+		// summaries rebuild from the tuples.
+		for i, b := range snapshotMagicV1 {
+			if data[i] != b {
+				return 0, fmt.Errorf("wal: bad snapshot magic")
+			}
 		}
 	}
 	body := data[len(snapshotMagic) : len(data)-4]
@@ -152,6 +187,17 @@ func loadSnapshot(path string, store Extent) (tuple.ID, error) {
 		return 0, fmt.Errorf("wal: snapshot bad count")
 	}
 	pos += w
+	if v2 {
+		zlen, w := binary.Uvarint(body[pos:])
+		if w <= 0 || pos+w+int(zlen) > len(body) {
+			return 0, fmt.Errorf("wal: snapshot bad zone blob")
+		}
+		pos += w
+		if zl, ok := store.(zoneLoader); ok && zlen > 0 {
+			zl.InstallZones(body[pos : pos+int(zlen)])
+		}
+		pos += int(zlen)
+	}
 	for i := uint64(0); i < count; i++ {
 		tp, n, err := tuple.Decode(body[pos:], store.Schema())
 		if err != nil {

@@ -1,0 +1,246 @@
+package wal
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fungusdb/internal/clock"
+	"fungusdb/internal/storage"
+	"fungusdb/internal/tuple"
+)
+
+// writeSnapshotV1 emits the pre-zone-persistence layout (v1 magic, no
+// zone blob) the way the old writer did, for compatibility testing.
+func writeSnapshotV1(path string, store Extent) error {
+	var body []byte
+	body = binary.AppendUvarint(body, uint64(store.NextID()))
+	body = binary.AppendUvarint(body, uint64(store.Len()))
+	store.Scan(func(tp *tuple.Tuple) bool {
+		body = tuple.AppendEncode(body, *tp)
+		return true
+	})
+	data := append([]byte{}, snapshotMagicV1[:]...)
+	data = append(data, body...)
+	data = binary.LittleEndian.AppendUint32(data, crc32.Checksum(body, crcTable))
+	return os.WriteFile(path, data, 0o644)
+}
+
+// countZoneFolds arranges for folds to be counted for the duration of
+// the test and returns the live counter.
+func countZoneFolds(t *testing.T) *int {
+	t.Helper()
+	folds := 0
+	storage.TestHookZoneFold = func() { folds++ }
+	t.Cleanup(func() { storage.TestHookZoneFold = nil })
+	return &folds
+}
+
+// zonesUsable proves every live segment carries a usable zone summary:
+// a scan whose skip callback rejects everything must skip every live
+// tuple (segments without a usable summary are never offered for
+// pruning and would be scanned instead).
+func zonesUsable(t *testing.T, s interface {
+	Len() int
+	ScanPruned(func(*storage.ZoneMap) bool, func(*tuple.Tuple) bool) storage.PruneStats
+}) {
+	t.Helper()
+	ps := s.ScanPruned(
+		func(*storage.ZoneMap) bool { return true },
+		func(*tuple.Tuple) bool { return true },
+	)
+	if ps.Tuples != s.Len() {
+		t.Errorf("only %d of %d live tuples sit under usable zone maps", ps.Tuples, s.Len())
+	}
+}
+
+// TestSnapshotZoneRestoreSkipsFolds is the recovery acceptance check:
+// a snapshot carries the per-segment zone maps, so loading it installs
+// the summaries instead of rebuilding them row by row — zero folds —
+// and the restored store prunes exactly like the original.
+func TestSnapshotZoneRestoreSkipsFolds(t *testing.T) {
+	dir := t.TempDir()
+	src := storage.New(walSchema, storage.WithSegmentSize(4))
+	for i := 0; i < 19; i++ {
+		if _, err := src.Insert(clock.Tick(3+i/4), row("dev", int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(dir, SnapshotFile)
+	if err := WriteSnapshot(path, src); err != nil {
+		t.Fatal(err)
+	}
+
+	folds := countZoneFolds(t)
+	dst := storage.New(walSchema, storage.WithSegmentSize(4))
+	if err := LoadSnapshot(path, dst); err != nil {
+		t.Fatal(err)
+	}
+	if *folds != 0 {
+		t.Errorf("restore folded %d rows; persisted zone maps should cover all of them", *folds)
+	}
+	if dst.Len() != src.Len() {
+		t.Fatalf("restored %d tuples, want %d", dst.Len(), src.Len())
+	}
+	zonesUsable(t, dst)
+
+	// The installed bounds must match what a rebuild would produce:
+	// collect per-segment ID bounds from both stores and compare.
+	bounds := func(s *storage.Store) [][2]tuple.ID {
+		var out [][2]tuple.ID
+		s.ScanPruned(func(z *storage.ZoneMap) bool {
+			lo, hi, ok := z.IDBounds()
+			if !ok {
+				t.Fatal("usable zone without ID bounds")
+			}
+			out = append(out, [2]tuple.ID{tuple.ID(lo.AsInt()), tuple.ID(hi.AsInt())})
+			return true
+		}, func(*tuple.Tuple) bool { return true })
+		return out
+	}
+	got, want := bounds(dst), bounds(src)
+	if len(got) != len(want) {
+		t.Fatalf("restored %d zoned segments, original had %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("segment %d ID bounds: restored %v, original %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRecoverZoneFoldsOnlyLogTail: after a checkpoint plus more logged
+// inserts, recovery installs the snapshot summaries untouched and folds
+// exactly the log-tail rows (whose IDs sit above the persisted
+// high-water marks).
+func TestRecoverZoneFoldsOnlyLogTail(t *testing.T) {
+	dir := t.TempDir()
+	src := storage.New(walSchema, storage.WithSegmentSize(4))
+	log, err := Open(filepath.Join(dir, LogFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		tp, err := src.Insert(3, row("dev", int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := log.AppendInsert(tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := Checkpoint(dir, src, log); err != nil {
+		t.Fatal(err)
+	}
+	const tail = 5
+	for i := 0; i < tail; i++ {
+		tp, err := src.Insert(4, row("late", int64(100+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := log.AppendInsert(tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	folds := countZoneFolds(t)
+	dst, err := Recover(dir, walSchema, storage.WithSegmentSize(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != 17 {
+		t.Fatalf("recovered %d tuples, want 17", dst.Len())
+	}
+	if *folds != tail {
+		t.Errorf("recovery folded %d rows, want exactly the %d log-tail inserts", *folds, tail)
+	}
+	zonesUsable(t, dst)
+}
+
+// TestZoneRestoreShardCountChange: reopening with a different shard
+// count re-partitions the ID residue classes, so the persisted records
+// no longer line up — they must be dropped (not misinstalled) and the
+// summaries rebuilt from the tuples, which still prune correctly.
+func TestZoneRestoreShardCountChange(t *testing.T) {
+	dir := t.TempDir()
+	src := storage.NewSharded(walSchema, 2, storage.WithSegmentSize(4))
+	for i := 0; i < 24; i++ {
+		if _, err := src.Insert(3, row("dev", int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(dir, SnapshotFile)
+	if err := WriteSnapshot(path, src); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same shard count: summaries install, no folds.
+	folds := countZoneFolds(t)
+	same := storage.NewSharded(walSchema, 2, storage.WithSegmentSize(4))
+	if err := LoadSnapshot(path, same); err != nil {
+		t.Fatal(err)
+	}
+	if *folds != 0 {
+		t.Errorf("same-layout restore folded %d rows, want 0", *folds)
+	}
+
+	// Different shard count: records dropped, summaries rebuilt.
+	*folds = 0
+	diff := storage.NewSharded(walSchema, 3, storage.WithSegmentSize(4))
+	if err := LoadSnapshot(path, diff); err != nil {
+		t.Fatal(err)
+	}
+	if *folds == 0 {
+		t.Error("re-sharded restore installed mismatched zone records instead of rebuilding")
+	}
+	if diff.Len() != 24 {
+		t.Fatalf("re-sharded restore lost tuples: %d, want 24", diff.Len())
+	}
+	for i := 0; i < 3; i++ {
+		sh := diff.Shard(i)
+		ps := sh.ScanPruned(
+			func(*storage.ZoneMap) bool { return true },
+			func(*tuple.Tuple) bool { return true },
+		)
+		if ps.Tuples != sh.Len() {
+			t.Errorf("shard %d: only %d of %d tuples under usable zones after rebuild", i, ps.Tuples, sh.Len())
+		}
+	}
+}
+
+// TestV1SnapshotStillLoads: a pre-zone-persistence snapshot (v1 magic,
+// no zone blob) restores fine; the summaries rebuild from the tuples.
+func TestV1SnapshotStillLoads(t *testing.T) {
+	dir := t.TempDir()
+	src := storage.New(walSchema, storage.WithSegmentSize(4))
+	for i := 0; i < 10; i++ {
+		if _, err := src.Insert(3, row("dev", int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(dir, SnapshotFile)
+	if err := writeSnapshotV1(path, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := storage.New(walSchema, storage.WithSegmentSize(4))
+	if err := LoadSnapshot(path, dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != 10 {
+		t.Fatalf("v1 restore got %d tuples, want 10", dst.Len())
+	}
+	zonesUsable(t, dst)
+	// Corrupt magic still rejected.
+	data, _ := os.ReadFile(path)
+	data[7] = 'X'
+	bad := filepath.Join(dir, "bad.db")
+	os.WriteFile(bad, data, 0o644)
+	if err := LoadSnapshot(bad, storage.New(walSchema)); err == nil {
+		t.Error("unknown snapshot magic accepted")
+	}
+}
