@@ -34,6 +34,7 @@ import (
 
 	"fungusdb/internal/core"
 	"fungusdb/internal/fungus"
+	"fungusdb/internal/obs"
 	"fungusdb/internal/query"
 	"fungusdb/internal/tuple"
 	"fungusdb/internal/wal"
@@ -571,6 +572,27 @@ func (s *shell) stats(args []string) error {
 			wi.LogShards, wi.Generation, wi.SyncMode)
 		if wi.GroupCommits > 0 {
 			fmt.Fprintf(s.out, "group commits: %d (avg %.1f records/fsync)\n", wi.GroupCommits, wi.AvgGroupSize)
+		}
+	}
+
+	// The metric view: the same engine walk the /metrics endpoint
+	// scrapes, filtered to this table. Rendering the shared catalog here
+	// (rather than a hand-maintained list) keeps the CLI and the scrape
+	// from ever drifting apart.
+	fmt.Fprintln(s.out, "metrics:")
+	for _, fam := range obs.CollectEngine(s.db) {
+		for _, sm := range fam.Samples {
+			onTable := false
+			for _, l := range sm.Labels {
+				if l.Name == "table" && l.Value == args[0] {
+					onTable = true
+					break
+				}
+			}
+			if !onTable {
+				continue
+			}
+			fmt.Fprintf(s.out, "  %s %s\n", obs.SampleName(fam, sm, "table"), obs.FormatValue(sm.Value))
 		}
 	}
 	return nil

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"fungusdb/internal/core"
+	"fungusdb/internal/obs"
 )
 
 // runScript feeds a command script to a fresh shell and returns stdout.
@@ -219,6 +220,46 @@ quit
 	}
 	if got := strings.Count(out, "error:"); got != 1 {
 		t.Errorf("want 1 error (double drop), got %d:\n%s", got, out)
+	}
+}
+
+// TestShellStatsMetricsParity is the drift guard for the CLI metric
+// view: every family the /metrics endpoint exports for a table (the
+// obs engine catalog) must appear in `stats <table>` output, under the
+// exact exported name. If someone adds a family to the catalog without
+// it surfacing here, or filters one out of the CLI walk, this fails.
+func TestShellStatsMetricsParity(t *testing.T) {
+	db, err := core.Open(core.DBConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	var out strings.Builder
+	sh := &shell{db: db, out: &out}
+	script := "create iot device STRING, temp FLOAT shards=2\ninsert iot s-1 21.5\nstats iot\nquit\n"
+	sh.repl(strings.NewReader(script))
+
+	fams := obs.CollectEngine(db)
+	if len(fams) == 0 {
+		t.Fatal("engine walk returned no families")
+	}
+	got := out.String()
+	if !strings.Contains(got, "metrics:") {
+		t.Fatalf("stats output has no metrics section:\n%s", got)
+	}
+	for _, fam := range fams {
+		if !strings.Contains(got, fam.Name) {
+			t.Errorf("stats output missing metric family %s:\n%s", fam.Name, got)
+		}
+	}
+	// Per-shard balance renders one labelled line per shard.
+	for _, want := range []string{`fungusdb_table_shard_tuples{shard="0"}`, `fungusdb_table_shard_tuples{shard="1"}`} {
+		if !strings.Contains(got, want) {
+			t.Errorf("stats output missing %s:\n%s", want, got)
+		}
+	}
+	if !strings.Contains(got, "fungusdb_table_inserted_total 1\n") {
+		t.Errorf("inserted counter not rendered with its value:\n%s", got)
 	}
 }
 

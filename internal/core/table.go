@@ -204,6 +204,19 @@ func (t *Table) Schema() *tuple.Schema { return t.cfg.Schema }
 // Shards returns the shard count.
 func (t *Table) Shards() int { return t.store.NumShards() }
 
+// ShardLens returns the live tuple count per shard — the balance gauge
+// the /metrics endpoint exports, and the cheapest way to see a skewed
+// rotation. Each shard is read under its own lock.
+func (t *Table) ShardLens() []int {
+	out := make([]int, t.store.NumShards())
+	for i := range out {
+		t.shardMu[i].RLock()
+		out[i] = t.store.Shard(i).Len()
+		t.shardMu[i].RUnlock()
+	}
+	return out
+}
+
 // Shelf returns the table's knowledge containers.
 func (t *Table) Shelf() *container.Shelf { return t.shelf }
 

@@ -22,10 +22,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"fungusdb/internal/core"
+	"fungusdb/internal/obs"
 	"fungusdb/internal/tuple"
 )
 
@@ -153,6 +155,44 @@ func (p *Pipeline) QueueDepths() []int {
 		out[i] = len(q)
 	}
 	return out
+}
+
+// MetricsCollector exposes the pipeline's counters and per-shard queue
+// depths as obs metric families, labelled with the destination table
+// name. Register it on the serving registry so /metrics scrapes see
+// ingestion pressure alongside the engine counters.
+func (p *Pipeline) MetricsCollector(table string) obs.Collector {
+	tableLabel := obs.Label{Name: "table", Value: table}
+	return obs.CollectorFunc(func() []obs.Family {
+		st := p.Stats()
+		counter := func(name, help string, v uint64) obs.Family {
+			return obs.Family{
+				Name: name, Help: help, Kind: obs.KindCounter,
+				Samples: []obs.Sample{{Labels: []obs.Label{tableLabel}, Value: float64(v)}},
+			}
+		}
+		fams := []obs.Family{
+			counter("fungusdb_ingest_pulled_total", "Rows drawn from the pipeline source.", st.Pulled),
+			counter("fungusdb_ingest_inserted_total", "Rows that reached the extent through the pipeline.", st.Inserted),
+			counter("fungusdb_ingest_refiner_dropped_total", "Rows the refiner discarded before insertion.", st.Dropped),
+			counter("fungusdb_ingest_batches_total", "Batches inserted into the table.", st.Batches),
+			counter("fungusdb_ingest_enqueued_total", "Rows handed to a shard queue in background mode.", st.Enqueued),
+			counter("fungusdb_ingest_queue_dropped_total", "Rows shed because their shard queue was full.", st.QueueDropped),
+			counter("fungusdb_ingest_flushes_total", "Consumer drain rounds that inserted rows.", st.Flushes),
+		}
+		depth := obs.Family{
+			Name: "fungusdb_ingest_queue_depth",
+			Help: "Rows pending in each shard's ingest queue (background mode; absent when stopped).",
+			Kind: obs.KindGauge,
+		}
+		for shard, n := range p.QueueDepths() {
+			depth.Samples = append(depth.Samples, obs.Sample{
+				Labels: []obs.Label{tableLabel, {Name: "shard", Value: strconv.Itoa(shard)}},
+				Value:  float64(n),
+			})
+		}
+		return append(fams, depth)
+	})
 }
 
 // Run synchronously ingests exactly n rows (before refinement) and

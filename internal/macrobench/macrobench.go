@@ -1,0 +1,438 @@
+// Package macrobench runs named end-to-end experiments against a real
+// fungusd HTTP server: N concurrent pkg/client streamers issuing
+// prepared queries over the NDJSON v2 API while a background ingest
+// pipeline feeds the table and a ticker drives decay — the whole
+// engine under load at once, where the micro-benchmarks each isolate
+// one layer. Results carry wall time, merged query latency percentiles
+// and heap readings; cmd/fungusbench folds them into the benchjson
+// report the CI regression gate consumes.
+package macrobench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fungusdb/internal/core"
+	"fungusdb/internal/fungus"
+	"fungusdb/internal/ingest"
+	"fungusdb/internal/obs"
+	"fungusdb/internal/server"
+	"fungusdb/internal/tuple"
+	"fungusdb/internal/workload"
+	"fungusdb/pkg/client"
+)
+
+// Config parameterises a run. Scale < 1 shrinks durations and
+// concurrency proportionally (tests use ~0.05); 0 means 1.0.
+type Config struct {
+	Seed  int64
+	Scale float64
+}
+
+// Result is one experiment's outcome.
+type Result struct {
+	Name     string
+	Wall     time.Duration
+	P50      time.Duration // per-query latency: issue to fully drained stream
+	P95      time.Duration
+	P99      time.Duration
+	Queries  uint64 // successfully drained streams (latency population)
+	Rows     uint64 // rows ingested by the background pipeline
+	Dropped  uint64 // rows shed by full ingest queues
+	Ticks    uint64 // decay ticks applied during the run
+	Soak     int    // held-open concurrent stream workers (soak only)
+	HeapPre  uint64 // HeapAlloc after preload, before load
+	HeapPeak uint64 // max HeapAlloc sampled during the run
+	HeapPost uint64 // HeapAlloc after the run, post-GC
+}
+
+// experiment is one named workload shape. All counts are at Scale=1.
+type experiment struct {
+	name      string
+	desc      string
+	streamers int           // concurrent prepared-query clients
+	soak      int           // extra held-open stream workers (0 = none)
+	duration  time.Duration // load phase length
+	preload   int           // rows inserted before the clock starts
+	shards    int
+	rate      float64       // ingest rows/sec (DropWhenFull)
+	tickEvery time.Duration // decay cadence
+}
+
+// catalog is every experiment, in the order List returns. The "short"
+// profile is sized for the CI bench job: a few seconds wall clock,
+// enough traffic that the latency percentiles are stable.
+var catalog = []experiment{
+	{
+		name: "short", desc: "CI profile: 4 streamers + ingest + decay, ~2s",
+		streamers: 4, duration: 2 * time.Second, preload: 20000,
+		shards: 4, rate: 20000, tickEvery: 50 * time.Millisecond,
+	},
+	{
+		name: "mixed", desc: "16 streamers + heavy ingest + fast decay, ~8s",
+		streamers: 16, duration: 8 * time.Second, preload: 50000,
+		shards: 8, rate: 50000, tickEvery: 25 * time.Millisecond,
+	},
+	{
+		name: "soak", desc: "256 concurrent NDJSON streams held against ingest + decay, ~8s",
+		streamers: 4, soak: 256, duration: 8 * time.Second, preload: 30000,
+		shards: 8, rate: 20000, tickEvery: 50 * time.Millisecond,
+	},
+}
+
+// List returns the experiment names in run order.
+func List() []string {
+	out := make([]string, len(catalog))
+	for i, e := range catalog {
+		out[i] = e.name
+	}
+	return out
+}
+
+// Describe returns the one-line description for a named experiment.
+func Describe(name string) (string, bool) {
+	for _, e := range catalog {
+		if e.name == name {
+			return e.desc, true
+		}
+	}
+	return "", false
+}
+
+// streamQueries are the templates every streamer cycles through; each
+// exercises a different engine path (filtered scan with LIMIT,
+// aggregate, top-k ORDER BY push-down).
+var streamQueries = []string{
+	"SELECT device, temp FROM macro WHERE temp > ? LIMIT 100",
+	"SELECT COUNT(*) FROM macro WHERE battery < ?",
+	"SELECT device, temp FROM macro ORDER BY temp DESC LIMIT 50",
+}
+
+// soakQuery is what held-open workers stream: a wide slice of the
+// table, so each response is many NDJSON lines on the wire.
+const soakQuery = "SELECT device, temp, battery FROM macro WHERE battery >= ? LIMIT 500"
+
+// Run executes the named experiment and returns its result.
+func Run(name string, cfg Config) (Result, error) {
+	var exp *experiment
+	for i := range catalog {
+		if catalog[i].name == name {
+			exp = &catalog[i]
+			break
+		}
+	}
+	if exp == nil {
+		return Result{}, fmt.Errorf("macrobench: unknown experiment %q (have %v)", name, List())
+	}
+	scale := cfg.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return run(*exp, scale, seed)
+}
+
+// scaleN shrinks a count, keeping at least min.
+func scaleN(n int, scale float64, min int) int {
+	v := int(float64(n) * scale)
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+func run(exp experiment, scale float64, seed int64) (Result, error) {
+	streamers := scaleN(exp.streamers, scale, 1)
+	soak := 0
+	if exp.soak > 0 {
+		soak = scaleN(exp.soak, scale, 2)
+	}
+	duration := time.Duration(float64(exp.duration) * scale)
+	if duration < 200*time.Millisecond {
+		duration = 200 * time.Millisecond
+	}
+	preload := scaleN(exp.preload, scale, 256)
+
+	// Engine + table. In-memory: the macro suite measures the query and
+	// ingest paths, not disk; the WAL benchmarks cover durability.
+	db, err := core.Open(core.DBConfig{Seed: seed})
+	if err != nil {
+		return Result{}, err
+	}
+	defer db.Close()
+	gen := workload.NewIoT(512, seed)
+	tbl, err := db.CreateTable("macro", core.TableConfig{
+		Schema: gen.Schema(),
+		Shards: exp.shards,
+		Fungus: fungus.Linear{Rate: 0.02},
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if err := preloadRows(tbl, gen, preload); err != nil {
+		return Result{}, err
+	}
+
+	// HTTP server on a loopback port, sharing one registry with the
+	// ingest pipeline's collector so a scrape during the run sees the
+	// whole system.
+	reg := obs.NewRegistry()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return Result{}, err
+	}
+	hs := &http.Server{Handler: server.NewWithConfig(db, server.Config{Registry: reg})}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	// Background ingest: load-shedding mode so a saturated shard sheds
+	// rather than stalling the source; the drop counter is reported.
+	pipe, err := ingest.New(workload.NewIoT(512, seed+1), tbl, ingest.Config{
+		BatchSize:     256,
+		QueueDepth:    4096,
+		RatePerSecond: exp.rate * scale,
+		DropWhenFull:  true,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	reg.Register(pipe.MetricsCollector("macro"))
+
+	res := Result{Name: exp.name, Soak: soak}
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	res.HeapPre = ms.HeapAlloc
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := pipe.Start(ctx); err != nil {
+		return Result{}, err
+	}
+
+	var (
+		wg       sync.WaitGroup
+		ticks    atomic.Uint64
+		heapPeak atomic.Uint64
+		firstErr atomic.Value // error
+	)
+	fail := func(err error) {
+		if err != nil && ctx.Err() == nil {
+			firstErr.CompareAndSwap(nil, err)
+		}
+	}
+
+	// Decay ticker.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(exp.tickEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				if _, err := db.Tick(); err != nil {
+					fail(err)
+					return
+				}
+				ticks.Add(1)
+			}
+		}
+	}()
+
+	// Heap sampler.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(20 * time.Millisecond)
+		defer t.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				runtime.ReadMemStats(&ms)
+				for {
+					cur := heapPeak.Load()
+					if ms.HeapAlloc <= cur || heapPeak.CompareAndSwap(cur, ms.HeapAlloc) {
+						break
+					}
+				}
+			}
+		}
+	}()
+
+	// Shared transport sized for the soak fan-out: hundreds of
+	// concurrent streams must not thrash connection setup.
+	transport := &http.Transport{MaxIdleConns: 1024, MaxIdleConnsPerHost: 1024}
+	defer transport.CloseIdleConnections()
+	httpc := &http.Client{Transport: transport}
+
+	// Query streamers: each prepares the templates once, then cycles
+	// through them until the clock runs out, timing issue-to-drained.
+	latCh := make(chan []time.Duration, streamers)
+	for i := 0; i < streamers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := client.New(base, httpc)
+			stmts := make([]*client.Stmt, len(streamQueries))
+			for j, sql := range streamQueries {
+				st, err := c.Prepare(sql)
+				if err != nil {
+					fail(err)
+					return
+				}
+				stmts[j] = st
+			}
+			var lats []time.Duration
+			for n := 0; ctx.Err() == nil; n++ {
+				j := n % len(stmts)
+				var params []any
+				switch j {
+				case 0:
+					params = []any{10.0 + float64((id+n)%20)}
+				case 1:
+					params = []any{0.2 + 0.6*float64(n%10)/10}
+				}
+				start := time.Now()
+				rows, err := stmts[j].Query(params...)
+				if err != nil {
+					fail(err)
+					return
+				}
+				for rows.Next() {
+				}
+				err = rows.Err()
+				rows.Close()
+				if err != nil {
+					fail(err)
+					return
+				}
+				lats = append(lats, time.Since(start))
+			}
+			latCh <- lats
+		}(i)
+	}
+
+	// Soak workers: hold many NDJSON streams open at once. Each worker
+	// keeps one stream in flight continuously, so at any instant ~soak
+	// responses are on the wire against the same shards decay and
+	// ingest are mutating.
+	var soakStreams atomic.Uint64
+	for i := 0; i < soak; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := client.New(base, httpc)
+			st, err := c.Prepare(soakQuery)
+			if err != nil {
+				fail(err)
+				return
+			}
+			for ctx.Err() == nil {
+				rows, err := st.Query(0.0)
+				if err != nil {
+					fail(err)
+					return
+				}
+				soakStreams.Add(1)
+				for rows.Next() {
+				}
+				err = rows.Err()
+				rows.Close()
+				if err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(i)
+	}
+
+	start := time.Now()
+	time.Sleep(duration)
+	cancel()
+	wg.Wait()
+	res.Wall = time.Since(start)
+	pipe.Stop()
+
+	if err, _ := firstErr.Load().(error); err != nil {
+		return Result{}, fmt.Errorf("macrobench %s: %w", exp.name, err)
+	}
+
+	var all []time.Duration
+	for i := 0; i < streamers; i++ {
+		all = append(all, <-latCh...)
+	}
+	if len(all) == 0 {
+		return Result{}, fmt.Errorf("macrobench %s: no queries completed", exp.name)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res.Queries = uint64(len(all))
+	res.P50 = percentile(all, 0.50)
+	res.P95 = percentile(all, 0.95)
+	res.P99 = percentile(all, 0.99)
+
+	st := pipe.Stats()
+	res.Rows = st.Inserted
+	res.Dropped = st.QueueDropped
+	res.Ticks = ticks.Load()
+	res.HeapPeak = heapPeak.Load()
+	if res.HeapPeak < res.HeapPre {
+		res.HeapPeak = res.HeapPre
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	res.HeapPost = ms.HeapAlloc
+
+	// Final validity check: the run's registry must still gather — the
+	// experiment doubles as an end-to-end test of the metrics surface.
+	if _, err := reg.Gather(); err != nil {
+		return Result{}, fmt.Errorf("macrobench %s: metrics gather: %w", exp.name, err)
+	}
+	return res, nil
+}
+
+// preloadRows batch-inserts n generator rows so streamers have a
+// populated extent from the first query.
+func preloadRows(tbl *core.Table, gen *workload.IoT, n int) error {
+	const batch = 1024
+	for done := 0; done < n; {
+		b := batch
+		if rem := n - done; rem < b {
+			b = rem
+		}
+		rows := make([][]tuple.Value, b)
+		for i := range rows {
+			rows[i] = gen.Next()
+		}
+		if _, err := tbl.InsertBatch(rows); err != nil {
+			return err
+		}
+		done += b
+	}
+	return nil
+}
+
+// percentile reads the q-quantile from an ascending-sorted slice.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -1,0 +1,71 @@
+package macrobench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunShortScaled drives the CI experiment at toy scale: the full
+// stack (HTTP server, streaming clients, ingest pipeline, decay
+// ticker) must produce a populated result in well under a second.
+func TestRunShortScaled(t *testing.T) {
+	res, err := Run("short", Config{Seed: 7, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries == 0 {
+		t.Fatal("no queries completed")
+	}
+	if res.P50 <= 0 || res.P95 < res.P50 || res.P99 < res.P95 {
+		t.Errorf("percentiles not ordered: p50=%v p95=%v p99=%v", res.P50, res.P95, res.P99)
+	}
+	if res.Wall < 200*time.Millisecond {
+		t.Errorf("wall %v shorter than the scale floor", res.Wall)
+	}
+	if res.Rows == 0 {
+		t.Error("background ingest inserted nothing")
+	}
+	if res.Ticks == 0 {
+		t.Error("decay ticker never fired")
+	}
+	if res.HeapPre == 0 || res.HeapPeak < res.HeapPre {
+		t.Errorf("heap readings wrong: pre=%d peak=%d post=%d", res.HeapPre, res.HeapPeak, res.HeapPost)
+	}
+}
+
+// TestRunSoakScaled checks the held-open stream experiment at toy
+// scale keeps multiple streams alive.
+func TestRunSoakScaled(t *testing.T) {
+	res, err := Run("soak", Config{Seed: 7, Scale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Soak < 2 {
+		t.Errorf("soak workers = %d, want >= 2", res.Soak)
+	}
+	if res.Queries == 0 {
+		t.Error("no streamer queries completed")
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("nope", Config{}); err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestListAndDescribe(t *testing.T) {
+	names := List()
+	if len(names) != 3 || names[0] != "short" {
+		t.Fatalf("List() = %v", names)
+	}
+	for _, n := range names {
+		if d, ok := Describe(n); !ok || d == "" {
+			t.Errorf("Describe(%q) = %q, %v", n, d, ok)
+		}
+	}
+	if _, ok := Describe("nope"); ok {
+		t.Error("Describe accepted unknown name")
+	}
+}

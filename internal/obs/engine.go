@@ -1,0 +1,161 @@
+// The engine collector: one snapshot walk unifying the counters and
+// gauges that previously lived in four different stats surfaces
+// (metrics.Counters, storage.Stats, core.WALInfo and the per-table
+// JSON stats handler) into labelled metric families. Both the server's
+// /metrics endpoint and `fungusctl stats` render the same walk, so the
+// two surfaces cannot drift apart.
+package obs
+
+import (
+	"strconv"
+
+	"fungusdb/internal/core"
+)
+
+// EngineCollector wraps a DB so a Registry can scrape it. Each scrape
+// takes a fresh snapshot: tables created or dropped between scrapes
+// appear and disappear with them.
+func EngineCollector(db *core.DB) Collector {
+	return CollectorFunc(func() []Family { return CollectEngine(db) })
+}
+
+// engineFamily pairs a family skeleton with a per-table value getter;
+// the catalog below is the single definition every scrape walks.
+type engineFamily struct {
+	name string
+	help string
+	kind Kind
+	// value extracts the scalar for one table snapshot; nil families
+	// fill their samples specially (per-shard gauges).
+	value func(ts tableSnap) float64
+}
+
+// tableSnap is one table's stats, captured once per scrape so every
+// family in the walk reads the same moment.
+type tableSnap struct {
+	table    *core.Table
+	counters coreCounters
+	store    coreStoreStats
+	wal      core.WALInfo
+	shards   int
+}
+
+// Narrow local views of the stats structs keep the catalog readable.
+type coreCounters struct {
+	inserted, rotted, consumed, distilled, queries, ticks uint64
+	captureRate                                           float64
+}
+
+type coreStoreStats struct {
+	live, bytes, segsLive                                     int
+	segsDropped                                               uint64
+	segsPruned, tuplesSkipped, batchesScanned, rowsVectorized uint64
+}
+
+// engineCatalog is every per-table family the engine exports, in
+// exposition (alphabetical) order. docs/OBSERVABILITY.md documents each
+// entry; the scrape golden test counts them.
+var engineCatalog = []engineFamily{
+	{"fungusdb_storage_batches_scanned_total", "Column batches handed to the vectorized scan routes.", KindCounter,
+		func(ts tableSnap) float64 { return float64(ts.store.batchesScanned) }},
+	{"fungusdb_storage_rows_vectorized_total", "Live rows evaluated kernel-wise by vectorized scans.", KindCounter,
+		func(ts tableSnap) float64 { return float64(ts.store.rowsVectorized) }},
+	{"fungusdb_storage_segments_dropped_total", "Extent segments freed after their last live tuple left.", KindCounter,
+		func(ts tableSnap) float64 { return float64(ts.store.segsDropped) }},
+	{"fungusdb_storage_segments_live", "Extent segments currently held in memory.", KindGauge,
+		func(ts tableSnap) float64 { return float64(ts.store.segsLive) }},
+	{"fungusdb_storage_segments_pruned_total", "Segments skipped wholesale by zone-map pruning.", KindCounter,
+		func(ts tableSnap) float64 { return float64(ts.store.segsPruned) }},
+	{"fungusdb_storage_tuples_skipped_total", "Live tuples inside pruned segments — work scans never did.", KindCounter,
+		func(ts tableSnap) float64 { return float64(ts.store.tuplesSkipped) }},
+	{"fungusdb_table_bytes", "Approximate live extent size in bytes.", KindGauge,
+		func(ts tableSnap) float64 { return float64(ts.store.bytes) }},
+	{"fungusdb_table_capture_rate", "Fraction of departed tuples distilled into knowledge first (1 = nothing lost).", KindGauge,
+		func(ts tableSnap) float64 { return ts.counters.captureRate }},
+	{"fungusdb_table_consumed_total", "Tuples evicted by consume-mode queries.", KindCounter,
+		func(ts tableSnap) float64 { return float64(ts.counters.consumed) }},
+	{"fungusdb_table_distilled_total", "Departed tuples captured in a knowledge container on the way out.", KindCounter,
+		func(ts tableSnap) float64 { return float64(ts.counters.distilled) }},
+	{"fungusdb_table_inserted_total", "Tuples inserted over the table's lifetime.", KindCounter,
+		func(ts tableSnap) float64 { return float64(ts.counters.inserted) }},
+	{"fungusdb_table_live_tuples", "Live tuples currently in the extent.", KindGauge,
+		func(ts tableSnap) float64 { return float64(ts.store.live) }},
+	{"fungusdb_table_queries_total", "Queries executed against the table.", KindCounter,
+		func(ts tableSnap) float64 { return float64(ts.counters.queries) }},
+	{"fungusdb_table_rotted_total", "Tuples evicted because freshness decayed to zero.", KindCounter,
+		func(ts tableSnap) float64 { return float64(ts.counters.rotted) }},
+	{"fungusdb_table_shard_tuples", "Live tuples per shard (rotation balance).", KindGauge, nil},
+	{"fungusdb_table_shards", "Extent shard count.", KindGauge,
+		func(ts tableSnap) float64 { return float64(ts.shards) }},
+	{"fungusdb_table_ticks_total", "Decay ticks applied to the table.", KindCounter,
+		func(ts tableSnap) float64 { return float64(ts.counters.ticks) }},
+	{"fungusdb_wal_generation", "Committed snapshot generation (0 = in-memory table or no checkpoint yet).", KindGauge,
+		func(ts tableSnap) float64 { return float64(ts.wal.Generation) }},
+	{"fungusdb_wal_group_commit_avg_size", "Mean records per group-commit fsync (grouped durability only).", KindGauge,
+		func(ts tableSnap) float64 { return ts.wal.AvgGroupSize }},
+	{"fungusdb_wal_group_commits_total", "Fsync-backed group-commit flushes.", KindCounter,
+		func(ts tableSnap) float64 { return float64(ts.wal.GroupCommits) }},
+	{"fungusdb_wal_shards", "Per-shard WAL files backing the table (0 = in-memory).", KindGauge,
+		func(ts tableSnap) float64 { return float64(ts.wal.LogShards) }},
+}
+
+// CollectEngine snapshots every table in db into the engine metric
+// families, one sample per table (labelled table="name"; the per-shard
+// balance gauge adds shard="i").
+func CollectEngine(db *core.DB) []Family {
+	names := db.Tables()
+	snaps := make([]tableSnap, 0, len(names))
+	shardLens := make([][]int, 0, len(names))
+	for _, name := range names {
+		tbl, err := db.Table(name)
+		if err != nil {
+			continue // dropped between listing and lookup
+		}
+		c := tbl.Counters()
+		st := tbl.StoreStats()
+		snaps = append(snaps, tableSnap{
+			table: tbl,
+			counters: coreCounters{
+				inserted:    c.Inserted,
+				rotted:      c.Rotted,
+				consumed:    c.Consumed,
+				distilled:   c.DistilledRot + c.DistilledQuery,
+				queries:     c.Queries,
+				ticks:       c.Ticks,
+				captureRate: c.CaptureRate(),
+			},
+			store: coreStoreStats{
+				live: st.Live, bytes: st.Bytes, segsLive: st.SegsLive,
+				segsDropped: st.SegsDropped,
+				segsPruned:  st.SegsPruned, tuplesSkipped: st.TuplesSkipped,
+				batchesScanned: st.BatchesScanned, rowsVectorized: st.RowsVectorized,
+			},
+			wal:    tbl.WALInfo(),
+			shards: tbl.Shards(),
+		})
+		shardLens = append(shardLens, tbl.ShardLens())
+	}
+
+	out := make([]Family, 0, len(engineCatalog))
+	for _, ef := range engineCatalog {
+		fam := Family{Name: ef.name, Help: ef.help, Kind: ef.kind}
+		for i, ts := range snaps {
+			tableLabel := Label{Name: "table", Value: ts.table.Name()}
+			if ef.value == nil { // per-shard balance gauge
+				for shard, n := range shardLens[i] {
+					fam.Samples = append(fam.Samples, Sample{
+						Labels: []Label{tableLabel, {Name: "shard", Value: strconv.Itoa(shard)}},
+						Value:  float64(n),
+					})
+				}
+				continue
+			}
+			fam.Samples = append(fam.Samples, Sample{
+				Labels: []Label{tableLabel},
+				Value:  ef.value(ts),
+			})
+		}
+		out = append(out, fam)
+	}
+	return out
+}

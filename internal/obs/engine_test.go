@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"testing"
+
+	"fungusdb/internal/core"
+	"fungusdb/internal/fungus"
+	"fungusdb/internal/tuple"
+)
+
+// engineValue digs one table's sample out of a collected family list.
+func engineValue(t *testing.T, fams []Family, name, table string) float64 {
+	t.Helper()
+	for _, fam := range fams {
+		if fam.Name != name {
+			continue
+		}
+		for _, s := range fam.Samples {
+			for _, l := range s.Labels {
+				if l.Name == "table" && l.Value == table {
+					return s.Value
+				}
+			}
+		}
+	}
+	t.Fatalf("no sample %s{table=%q}", name, table)
+	return 0
+}
+
+// TestCollectEngine drives a table through inserts, queries, consume
+// and decay, then checks the collector reports the same numbers the
+// engine's own stats surfaces do.
+func TestCollectEngine(t *testing.T) {
+	db, err := core.Open(core.DBConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	schema := tuple.MustSchema(
+		tuple.Column{Name: "host", Kind: tuple.KindString},
+		tuple.Column{Name: "sev", Kind: tuple.KindInt},
+	)
+	tbl, err := db.CreateTable("logs", core.TableConfig{
+		Schema: schema, Shards: 3, Fungus: fungus.Linear{Rate: 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := tbl.Insert(core.Row("web", i%10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tbl.SQL("SELECT COUNT(*) FROM logs WHERE sev > 5"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Tick(); err != nil {
+		t.Fatal(err)
+	}
+
+	fams := CollectEngine(db)
+	if len(fams) != len(engineCatalog) {
+		t.Fatalf("collected %d families, catalog has %d", len(fams), len(engineCatalog))
+	}
+	c := tbl.Counters()
+	checks := map[string]float64{
+		"fungusdb_table_inserted_total": float64(c.Inserted),
+		"fungusdb_table_queries_total":  float64(c.Queries),
+		"fungusdb_table_ticks_total":    float64(c.Ticks),
+		"fungusdb_table_rotted_total":   float64(c.Rotted),
+		"fungusdb_table_live_tuples":    float64(tbl.Len()),
+		"fungusdb_table_shards":         3,
+		"fungusdb_wal_shards":           0, // in-memory table
+	}
+	for name, want := range checks {
+		if got := engineValue(t, fams, name, "logs"); got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	if c.Inserted != 30 {
+		t.Fatalf("sanity: inserted %d", c.Inserted)
+	}
+
+	// Per-shard balance: one sample per shard, totalling the live count.
+	var shardSum, shardSamples float64
+	for _, fam := range fams {
+		if fam.Name != "fungusdb_table_shard_tuples" {
+			continue
+		}
+		for _, s := range fam.Samples {
+			shardSum += s.Value
+			shardSamples++
+		}
+	}
+	if shardSamples != 3 {
+		t.Errorf("want 3 shard samples, got %v", shardSamples)
+	}
+	if shardSum != float64(tbl.Len()) {
+		t.Errorf("shard tuples sum %v != live %d", shardSum, tbl.Len())
+	}
+
+	// The whole walk must render as a valid exposition via a registry.
+	reg := NewRegistry()
+	reg.Register(EngineCollector(db))
+	if _, err := reg.Gather(); err != nil {
+		t.Fatalf("engine families failed validation: %v", err)
+	}
+}

@@ -1,0 +1,137 @@
+// Prometheus text exposition (format version 0.0.4): every family gets
+// a # HELP and # TYPE comment followed by its samples, histograms
+// expand into _bucket/_sum/_count series with a cumulative +Inf bucket.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+)
+
+// ContentType is the scrape response content type.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// escapeHelp escapes HELP text (backslash and newline).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value (backslash, quote, newline).
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// writeLabels renders {a="x",b="y"}; extra, when non-nil, is appended
+// last (histograms use it for le).
+func writeLabels(b *strings.Builder, labels []Label, extra *Label) {
+	if len(labels) == 0 && extra == nil {
+		return
+	}
+	b.WriteByte('{')
+	first := true
+	emit := func(l Label) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	for _, l := range labels {
+		emit(l)
+	}
+	if extra != nil {
+		emit(*extra)
+	}
+	b.WriteByte('}')
+}
+
+// formatBound renders a bucket upper bound; +Inf is spelled the way
+// Prometheus expects.
+func formatBound(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return FormatValue(v)
+}
+
+// WriteText renders families in exposition order. Families should come
+// from Registry.Gather, which sorts and validates them.
+func WriteText(w io.Writer, fams []Family) error {
+	var b strings.Builder
+	for _, fam := range fams {
+		b.Reset()
+		fmt.Fprintf(&b, "# HELP %s %s\n", fam.Name, escapeHelp(fam.Help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", fam.Name, fam.Kind)
+		for _, s := range fam.Samples {
+			if fam.Kind == KindHistogram {
+				writeHistogramSample(&b, fam.Name, s)
+				continue
+			}
+			b.WriteString(fam.Name)
+			writeLabels(&b, s.Labels, nil)
+			b.WriteByte(' ')
+			b.WriteString(FormatValue(s.Value))
+			b.WriteByte('\n')
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogramSample expands one histogram sample into its bucket,
+// sum and count series. Buckets are cumulative; a trailing +Inf bucket
+// equal to the total count is added when the sample does not carry one.
+func writeHistogramSample(b *strings.Builder, name string, s Sample) {
+	sawInf := false
+	for _, bk := range s.Buckets {
+		le := Label{Name: "le", Value: formatBound(bk.UpperBound)}
+		b.WriteString(name)
+		b.WriteString("_bucket")
+		writeLabels(b, s.Labels, &le)
+		fmt.Fprintf(b, " %d\n", bk.Count)
+		if math.IsInf(bk.UpperBound, +1) {
+			sawInf = true
+		}
+	}
+	if !sawInf {
+		le := Label{Name: "le", Value: "+Inf"}
+		b.WriteString(name)
+		b.WriteString("_bucket")
+		writeLabels(b, s.Labels, &le)
+		fmt.Fprintf(b, " %d\n", s.Count)
+	}
+	b.WriteString(name)
+	b.WriteString("_sum")
+	writeLabels(b, s.Labels, nil)
+	b.WriteByte(' ')
+	b.WriteString(FormatValue(s.Sum))
+	b.WriteByte('\n')
+	b.WriteString(name)
+	b.WriteString("_count")
+	writeLabels(b, s.Labels, nil)
+	fmt.Fprintf(b, " %d\n", s.Count)
+}
+
+// Handler serves the registry as a GET /metrics scrape endpoint.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		fams, err := r.Gather()
+		if err != nil {
+			http.Error(w, "metrics collection failed: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", ContentType)
+		_ = WriteText(w, fams)
+	})
+}

@@ -1,0 +1,80 @@
+package obs
+
+import "sync"
+
+// DefLatencyBuckets are the query-latency histogram bounds, in seconds:
+// half-millisecond resolution at the fast end (a pruned in-memory point
+// query), stretching to multi-second buckets so a stalled scan is still
+// visible rather than clipped. Documented in docs/OBSERVABILITY.md.
+var DefLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// Histogram is a live instrument accumulating observations into fixed
+// cumulative buckets. Unlike the snapshot collectors, it is written on
+// the request hot path, so it carries its own lock; Observe is a few
+// additions under a mutex. A Histogram is itself a Collector producing
+// a single-sample family, so same-named histograms with different
+// labels (one per route) merge into one family at Gather time.
+type Histogram struct {
+	name   string
+	help   string
+	labels []Label
+	bounds []float64
+
+	mu     sync.Mutex
+	counts []uint64 // per-bucket, non-cumulative; same length as bounds
+	sum    float64
+	count  uint64
+}
+
+// NewHistogram builds a histogram with the given upper bounds (must be
+// sorted ascending; the +Inf bucket is implicit).
+func NewHistogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be sorted ascending")
+		}
+	}
+	return &Histogram{
+		name:   name,
+		help:   help,
+		labels: labels,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			break
+		}
+	}
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// Collect implements Collector: one family with one cumulative-bucket
+// sample.
+func (h *Histogram) Collect() []Family {
+	h.mu.Lock()
+	buckets := make([]Bucket, len(h.bounds))
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		buckets[i] = Bucket{UpperBound: b, Count: cum}
+	}
+	sample := Sample{
+		Labels:  h.labels,
+		Buckets: buckets,
+		Sum:     h.sum,
+		Count:   h.count,
+	}
+	h.mu.Unlock()
+	return []Family{{Name: h.name, Help: h.help, Kind: KindHistogram, Samples: []Sample{sample}}}
+}

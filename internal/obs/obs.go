@@ -1,0 +1,209 @@
+// Package obs is the production observability layer: a dependency-free
+// metric model with a Prometheus text-exposition writer. The engine's
+// operational counters were historically scattered across per-table
+// JSON stats (internal/server), storage atomics, WAL info and ingest
+// pipeline snapshots; obs unifies them behind one Registry that any
+// component can contribute Collectors to, and one scrape surface
+// (GET /metrics) renders them all.
+//
+// The model is pull-based: a Collector produces a snapshot of metric
+// Families when asked, so components keep their existing cheap internal
+// counters (atomics, mutex-guarded structs) and pay nothing between
+// scrapes. Only live instruments that accumulate observations — the
+// latency Histogram — carry their own synchronisation.
+package obs
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Kind is the metric family type, mirroring the Prometheus exposition
+// TYPE keywords.
+type Kind uint8
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String returns the exposition TYPE keyword.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Label is one name="value" pair attached to a sample.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Bucket is one cumulative histogram bucket: the count of observations
+// at or below UpperBound.
+type Bucket struct {
+	UpperBound float64
+	Count      uint64
+}
+
+// Sample is one labelled observation inside a family. Counter and gauge
+// samples use Value; histogram samples use Buckets/Sum/Count instead.
+type Sample struct {
+	Labels  []Label
+	Value   float64
+	Buckets []Bucket
+	Sum     float64
+	Count   uint64
+}
+
+// Family is one named metric with help text, a kind, and any number of
+// labelled samples.
+type Family struct {
+	Name    string
+	Help    string
+	Kind    Kind
+	Samples []Sample
+}
+
+// Collector produces a point-in-time snapshot of metric families. A
+// Collector must be safe for concurrent Collect calls.
+type Collector interface {
+	Collect() []Family
+}
+
+// CollectorFunc adapts a function to the Collector interface.
+type CollectorFunc func() []Family
+
+// Collect implements Collector.
+func (f CollectorFunc) Collect() []Family { return f() }
+
+// Registry fans a scrape out over its registered collectors and merges
+// the result into one sorted, deduplicated family list.
+type Registry struct {
+	mu         sync.RWMutex
+	collectors []Collector
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register adds a collector. Safe to call while scrapes are in flight.
+func (r *Registry) Register(c Collector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, c)
+}
+
+// metricName is the Prometheus metric/label name grammar.
+var metricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// Gather collects from every registered collector and merges families
+// with the same name (first help/kind wins, samples append). Families
+// come back sorted by name and samples by label signature, so the
+// exposition — and any test comparing it — is deterministic.
+func (r *Registry) Gather() ([]Family, error) {
+	r.mu.RLock()
+	collectors := make([]Collector, len(r.collectors))
+	copy(collectors, r.collectors)
+	r.mu.RUnlock()
+
+	byName := map[string]*Family{}
+	order := []string{}
+	for _, c := range collectors {
+		for _, fam := range c.Collect() {
+			if !metricName.MatchString(fam.Name) {
+				return nil, fmt.Errorf("obs: invalid metric name %q", fam.Name)
+			}
+			dst, ok := byName[fam.Name]
+			if !ok {
+				f := fam
+				f.Samples = append([]Sample(nil), fam.Samples...)
+				byName[fam.Name] = &f
+				order = append(order, fam.Name)
+				continue
+			}
+			if dst.Kind != fam.Kind {
+				return nil, fmt.Errorf("obs: metric %q collected with conflicting kinds", fam.Name)
+			}
+			dst.Samples = append(dst.Samples, fam.Samples...)
+		}
+	}
+	sort.Strings(order)
+	out := make([]Family, 0, len(order))
+	for _, name := range order {
+		fam := byName[name]
+		for _, s := range fam.Samples {
+			for _, l := range s.Labels {
+				if !metricName.MatchString(l.Name) {
+					return nil, fmt.Errorf("obs: metric %q: invalid label name %q", name, l.Name)
+				}
+			}
+		}
+		sort.SliceStable(fam.Samples, func(i, j int) bool {
+			return labelSignature(fam.Samples[i].Labels) < labelSignature(fam.Samples[j].Labels)
+		})
+		out = append(out, *fam)
+	}
+	return out, nil
+}
+
+// labelSignature renders labels into a stable sort key.
+func labelSignature(labels []Label) string {
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Name)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// FormatValue renders a sample value the way the exposition format
+// expects (shortest round-trippable float).
+func FormatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// SampleName renders a sample's display name: the family name plus its
+// labels, skipping any label named skip (callers printing per-table
+// output drop the redundant table label). Label values are escaped as
+// in the exposition format.
+func SampleName(fam Family, s Sample, skip string) string {
+	var kept []Label
+	for _, l := range s.Labels {
+		if l.Name == skip {
+			continue
+		}
+		kept = append(kept, l)
+	}
+	if len(kept) == 0 {
+		return fam.Name
+	}
+	var b strings.Builder
+	b.WriteString(fam.Name)
+	b.WriteByte('{')
+	for i, l := range kept {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}

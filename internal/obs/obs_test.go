@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestWriteTextGolden pins the exact exposition bytes for one of each
+// family kind: HELP/TYPE ordering, label escaping, histogram expansion
+// with the implicit +Inf bucket.
+func TestWriteTextGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register(CollectorFunc(func() []Family {
+		return []Family{
+			{
+				Name: "fungusdb_test_rows_total",
+				Help: `rows with a "quoted" label and back\slash`,
+				Kind: KindCounter,
+				Samples: []Sample{
+					{Labels: []Label{{Name: "table", Value: `io"t`}}, Value: 42},
+					{Labels: []Label{{Name: "table", Value: "clicks"}}, Value: 7},
+				},
+			},
+			{
+				Name:    "fungusdb_test_depth",
+				Help:    "a gauge",
+				Kind:    KindGauge,
+				Samples: []Sample{{Value: 1.5}},
+			},
+		}
+	}))
+	h := NewHistogram("fungusdb_test_seconds", "a histogram", []float64{0.1, 1}, Label{Name: "route", Value: "v1"})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(0.7)
+	h.Observe(30)
+	reg.Register(h)
+
+	fams, err := reg.Gather()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteText(&sb, fams); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP fungusdb_test_depth a gauge
+# TYPE fungusdb_test_depth gauge
+fungusdb_test_depth 1.5
+# HELP fungusdb_test_rows_total rows with a "quoted" label and back\\slash
+# TYPE fungusdb_test_rows_total counter
+fungusdb_test_rows_total{table="clicks"} 7
+fungusdb_test_rows_total{table="io\"t"} 42
+# HELP fungusdb_test_seconds a histogram
+# TYPE fungusdb_test_seconds histogram
+fungusdb_test_seconds_bucket{route="v1",le="0.1"} 1
+fungusdb_test_seconds_bucket{route="v1",le="1"} 3
+fungusdb_test_seconds_bucket{route="v1",le="+Inf"} 4
+fungusdb_test_seconds_sum{route="v1"} 31.25
+fungusdb_test_seconds_count{route="v1"} 4
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestGatherMergesFamilies checks that two collectors contributing the
+// same family name merge into one family with all samples.
+func TestGatherMergesFamilies(t *testing.T) {
+	reg := NewRegistry()
+	mk := func(label string, v float64) Collector {
+		return CollectorFunc(func() []Family {
+			return []Family{{
+				Name: "fungusdb_merge_total", Help: "h", Kind: KindCounter,
+				Samples: []Sample{{Labels: []Label{{Name: "route", Value: label}}, Value: v}},
+			}}
+		})
+	}
+	reg.Register(mk("b", 2))
+	reg.Register(mk("a", 1))
+	fams, err := reg.Gather()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 1 {
+		t.Fatalf("want 1 family, got %d", len(fams))
+	}
+	if len(fams[0].Samples) != 2 {
+		t.Fatalf("want 2 samples, got %d", len(fams[0].Samples))
+	}
+	// Samples sort by label signature.
+	if fams[0].Samples[0].Value != 1 || fams[0].Samples[1].Value != 2 {
+		t.Errorf("samples not sorted by label: %+v", fams[0].Samples)
+	}
+}
+
+// TestGatherRejectsBadNames checks validation of metric and label names.
+func TestGatherRejectsBadNames(t *testing.T) {
+	for _, bad := range []Family{
+		{Name: "has space", Kind: KindGauge},
+		{Name: "ok_name", Kind: KindGauge, Samples: []Sample{{Labels: []Label{{Name: "bad-label", Value: "x"}}}}},
+	} {
+		reg := NewRegistry()
+		fam := bad
+		reg.Register(CollectorFunc(func() []Family { return []Family{fam} }))
+		if _, err := reg.Gather(); err == nil {
+			t.Errorf("Gather accepted invalid family %+v", bad)
+		}
+	}
+}
+
+// TestGatherRejectsKindConflict: same name, different kinds is an error
+// (a drifted collector), not silent corruption.
+func TestGatherRejectsKindConflict(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register(CollectorFunc(func() []Family {
+		return []Family{{Name: "fungusdb_x", Kind: KindCounter}}
+	}))
+	reg.Register(CollectorFunc(func() []Family {
+		return []Family{{Name: "fungusdb_x", Kind: KindGauge}}
+	}))
+	if _, err := reg.Gather(); err == nil {
+		t.Error("Gather accepted conflicting kinds")
+	}
+}
+
+// TestHandler exercises the HTTP surface: content type and body shape.
+func TestHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register(CollectorFunc(func() []Family {
+		return []Family{{Name: "fungusdb_up", Help: "liveness", Kind: KindGauge, Samples: []Sample{{Value: 1}}}}
+	}))
+	rec := httptest.NewRecorder()
+	Handler(reg).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != ContentType {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "fungusdb_up 1\n") {
+		t.Errorf("body missing sample:\n%s", rec.Body.String())
+	}
+}
+
+// TestHistogramBucketing pins bucket boundary behaviour (le is
+// inclusive) and concurrent-safety is covered by the race CI job via
+// the server concurrency test.
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram("h_seconds", "h", []float64{1, 2})
+	for _, v := range []float64{1, 1, 2, 3} {
+		h.Observe(v)
+	}
+	fam := h.Collect()[0]
+	s := fam.Samples[0]
+	if s.Buckets[0].Count != 2 || s.Buckets[1].Count != 3 {
+		t.Errorf("cumulative buckets wrong: %+v", s.Buckets)
+	}
+	if s.Count != 4 || s.Sum != 7 {
+		t.Errorf("sum/count wrong: sum=%v count=%d", s.Sum, s.Count)
+	}
+}
+
+// TestSampleName covers the shared display-name helper fungusctl's
+// stats walk uses.
+func TestSampleName(t *testing.T) {
+	fam := Family{Name: "fungusdb_table_shard_tuples"}
+	s := Sample{Labels: []Label{{Name: "table", Value: "iot"}, {Name: "shard", Value: "3"}}}
+	if got := SampleName(fam, s, "table"); got != `fungusdb_table_shard_tuples{shard="3"}` {
+		t.Errorf("SampleName = %q", got)
+	}
+	if got := SampleName(fam, Sample{Labels: []Label{{Name: "table", Value: "iot"}}}, "table"); got != "fungusdb_table_shard_tuples" {
+		t.Errorf("SampleName without extra labels = %q", got)
+	}
+}

@@ -11,6 +11,7 @@
 //	GET    /v1/tables/{table}/containers/{container}/ask?q=...   digest questions
 //	POST   /v1/query                         SELECT (incl. CONSUME) -> grid
 //	POST   /v1/tick                          advance decay n cycles
+//	GET    /metrics                          Prometheus text exposition
 //
 // Rows and grid cells travel as natural JSON values (numbers, strings,
 // booleans) positionally matched to the table schema.
@@ -22,9 +23,11 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"time"
 
 	"fungusdb/internal/catalog"
 	"fungusdb/internal/core"
+	"fungusdb/internal/obs"
 	"fungusdb/internal/query"
 	"fungusdb/internal/tuple"
 	"fungusdb/internal/wal"
@@ -43,6 +46,11 @@ type Config struct {
 	// PreparedHandles bounds the /v2/prepare handle cache (0 = the
 	// defaultHandleCap of 256).
 	PreparedHandles int
+	// Registry receives the server's metric collectors and backs the
+	// GET /metrics endpoint. Nil builds a private registry; pass one in
+	// to add your own collectors (ingest pipelines, harnesses) to the
+	// same scrape.
+	Registry *obs.Registry
 }
 
 // Server is the HTTP front end of one DB.
@@ -51,7 +59,13 @@ type Server struct {
 	mux  *http.ServeMux
 	cfg  Config
 	prep *handleCache
+	reg  *obs.Registry
+	lat  map[string]*obs.Histogram // query latency per route
 }
+
+// latencyRoutes are the label values of the per-route query latency
+// histogram: the two SQL execution surfaces plus container questions.
+var latencyRoutes = []string{"v1_query", "v2_query", "ask"}
 
 // New wraps db with default configuration. The returned Server is an
 // http.Handler.
@@ -62,7 +76,28 @@ func NewWithConfig(db *core.DB, cfg Config) *Server {
 	if cfg.MaxRequestBytes == 0 {
 		cfg.MaxRequestBytes = DefaultMaxRequestBytes
 	}
-	s := &Server{db: db, mux: http.NewServeMux(), cfg: cfg, prep: newHandleCache(cfg.PreparedHandles)}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &Server{
+		db: db, mux: http.NewServeMux(), cfg: cfg,
+		prep: newHandleCache(cfg.PreparedHandles),
+		reg:  reg,
+		lat:  make(map[string]*obs.Histogram, len(latencyRoutes)),
+	}
+	reg.Register(obs.EngineCollector(db))
+	for _, route := range latencyRoutes {
+		h := obs.NewHistogram(
+			"fungusdb_http_query_seconds",
+			"Query latency by route, from request decode to the last byte of the answer.",
+			obs.DefLatencyBuckets,
+			obs.Label{Name: "route", Value: route},
+		)
+		s.lat[route] = h
+		reg.Register(h)
+	}
+	s.mux.Handle("GET /metrics", obs.Handler(reg))
 	s.mux.HandleFunc("GET /healthz", s.health)
 	s.mux.HandleFunc("GET /v1/tables", s.listTables)
 	s.mux.HandleFunc("POST /v1/tables", s.createTable)
@@ -80,6 +115,18 @@ func NewWithConfig(db *core.DB, cfg Config) *Server {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Registry returns the metric registry behind GET /metrics, so hosts
+// can register additional collectors into the same scrape.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// observe records one query's wall time on the route's latency
+// histogram. Call as `defer s.observe(route, time.Now())`.
+func (s *Server) observe(route string, start time.Time) {
+	if h := s.lat[route]; h != nil {
+		h.Observe(time.Since(start).Seconds())
+	}
+}
 
 // Stable machine-readable error codes. Every error response is
 //
@@ -412,6 +459,7 @@ type AskResponse struct {
 // digest; the answer rows map back into the classical AskResponse
 // shape by their column layout.
 func (s *Server) askContainer(w http.ResponseWriter, r *http.Request) {
+	defer s.observe("ask", time.Now())
 	tbl, ok := s.table(w, r)
 	if !ok {
 		return
@@ -496,6 +544,7 @@ func (s *Server) preparedForSQL(w http.ResponseWriter, sql string) (*core.Prepar
 // grid-shaped JSON body. Use /v2/query for NDJSON streaming and
 // parameter binding.
 func (s *Server) runQuery(w http.ResponseWriter, r *http.Request) {
+	defer s.observe("v1_query", time.Now())
 	var req QueryRequest
 	if !s.readJSON(w, r, &req) {
 		return

@@ -192,6 +192,7 @@ const flushEvery = 64
 const streamWriteTimeout = 30 * time.Second
 
 func (s *Server) queryV2(w http.ResponseWriter, r *http.Request) {
+	defer s.observe("v2_query", time.Now())
 	var req QueryV2Request
 	if !s.readJSON(w, r, &req) {
 		return
