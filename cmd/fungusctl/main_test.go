@@ -1,12 +1,17 @@
 package main
 
 import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"strings"
 	"testing"
 
 	"fungusdb/internal/core"
 	"fungusdb/internal/obs"
+	"fungusdb/internal/server"
 )
 
 // runScript feeds a command script to a fresh shell and returns stdout.
@@ -270,5 +275,58 @@ func TestShellHelpAndComments(t *testing.T) {
 	}
 	if strings.Contains(out, "error") {
 		t.Errorf("comment caused an error:\n%s", out)
+	}
+}
+
+// TestRemoteStatsReplicationParity is the drift guard for `fungusctl
+// -addr ... stats` against a replication follower: every field the
+// server's replication status marshals must surface in the rendered
+// output, with its value. remoteStats walks the wire JSON generically,
+// so this can only fail if the client's ReplStats type falls behind the
+// server's ReplStatus — exactly the drift to catch.
+func TestRemoteStatsReplicationParity(t *testing.T) {
+	repl := server.ReplStatus{
+		Leader: "http://leader:8044", Generation: 3, LagRecords: 17,
+		Inserts: 1201, Evicts: 43, Ticks: 96, Batches: 88,
+		Reconnects: 2, Rebases: 1, Connected: true,
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/tables/events/stats" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"live": 5, "shards": 2, "bytes": 640, "mean_freshness": 0.75,
+			"persistent": false, "replication": repl,
+		})
+	}))
+	defer srv.Close()
+
+	var out strings.Builder
+	if err := remoteStats(&out, srv.URL, []string{"events"}); err != nil {
+		t.Fatalf("remoteStats: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "replication:") {
+		t.Fatalf("no replication section:\n%s", got)
+	}
+
+	data, err := json.Marshal(repl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m) < 10 {
+		t.Fatalf("replication status marshals only %d fields — test setup stale", len(m))
+	}
+	for k, v := range m {
+		want := fmt.Sprintf("%s %v", k, v)
+		if !strings.Contains(got, want) {
+			t.Errorf("stats output missing replication field %q (want line %q):\n%s", k, want, got)
+		}
 	}
 }

@@ -165,6 +165,47 @@ func (db *DB) createFromSpec(spec catalog.TableSpec) (*Table, error) {
 	})
 }
 
+// TableSpecs returns a copy of the catalog's declarative table specs,
+// sorted by name. These are the tables a replication follower can
+// mirror: spec-created tables are persistent (they have a WAL to ship)
+// and self-describing (the follower rebuilds schema, fungus and shard
+// count from the spec alone).
+func (db *DB) TableSpecs() []catalog.TableSpec {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := append([]catalog.TableSpec(nil), db.cat.Tables...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// CreateReplicaFromSpec creates an in-memory, read-only replica table
+// from a leader's declarative spec. Persistence and checkpointing stay
+// off (the leader owns durability); everything else — schema, fungus,
+// shard count, segment size — matches the leader so replayed decay and
+// restored tuples land identically.
+func (db *DB) CreateReplicaFromSpec(spec catalog.TableSpec) (*Table, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	schema, err := tuple.ParseSchema(spec.Schema)
+	if err != nil {
+		return nil, err
+	}
+	f, err := spec.Fungus.Build(schema)
+	if err != nil {
+		return nil, err
+	}
+	return db.CreateTable(spec.Name, TableConfig{
+		Schema:            schema,
+		Fungus:            f,
+		Shards:            spec.Shards,
+		SegmentSize:       spec.SegmentSize,
+		TickEvery:         spec.TickEvery,
+		ContainerHalfLife: spec.ContainerHalfLife,
+		ReadOnly:          true,
+	})
+}
+
 // Now returns the current logical tick.
 func (db *DB) Now() clock.Tick { return db.clk.Now() }
 

@@ -193,6 +193,11 @@ func (t *Table) execPlan(plan *query.Plan, params []tuple.Value, opt QueryOpts) 
 	if t.closed.Load() {
 		return nil, t.errClosed()
 	}
+	// Replicas answer peeks only: consuming or distilling would mutate
+	// state the leader never shipped, silently forking the replica.
+	if t.cfg.ReadOnly && (plan.Consume() || opt.Distill != "") {
+		return nil, t.errReadOnly()
+	}
 	if err := plan.BindCheck(params); err != nil {
 		return nil, err
 	}

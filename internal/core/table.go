@@ -67,6 +67,14 @@ type TableConfig struct {
 	// wal.DurabilityDefault inherits DBConfig.Durability. Ignored for
 	// non-persistent tables.
 	Durability wal.DurabilityLevel
+	// ReadOnly marks the table a replication replica: every local
+	// mutation path (inserts, consume queries, distillation, local
+	// decay) is rejected with ErrReadOnly, and state changes arrive
+	// exclusively through the replica apply surface (see replica.go).
+	// ReadOnly tables are in-memory (Persist must be false — their
+	// durability is the leader's) and force TouchOnRead/DistillOnRot
+	// off, since both would mutate state the leader never logged.
+	ReadOnly bool
 }
 
 // TableTickReport summarises one decay cycle of one table.
@@ -95,6 +103,7 @@ type Table struct {
 	name    string
 	cfg     TableConfig
 	clk     clock.Clock
+	seed    int64 // the table's RNG seed, kept so a replica re-base can rebuild the streams
 	store   *storage.ShardedStore
 	shardMu []sync.RWMutex
 	fngs    []fungus.Fungus // one per shard; fngs[0] may be the caller's instance
@@ -113,6 +122,14 @@ type Table struct {
 	durability wal.DurabilityLevel // resolved: never DurabilityDefault
 	gc         *wal.GroupCommitter // non-nil iff durability == grouped
 	closed     atomic.Bool
+
+	// tickLog: persistent tables with a real fungus log a RecTick per
+	// shard per fungus run, so followers can replay decay. replayTicks:
+	// this ReadOnly replica re-executes those ticks through its own
+	// fungus (the law is replayable — see fungus.Replayable) instead of
+	// waiting for the leader's evict records.
+	tickLog     bool
+	replayTicks bool
 }
 
 func newTable(name string, cfg TableConfig, clk clock.Clock, seed int64, dir string, dbc DBConfig) (*Table, error) {
@@ -124,6 +141,16 @@ func newTable(name string, cfg TableConfig, clk clock.Clock, seed int64, dir str
 	}
 	if cfg.Digest == (container.DigestConfig{}) {
 		cfg.Digest = container.DefaultDigestConfig()
+	}
+	if cfg.ReadOnly {
+		if cfg.Persist {
+			return nil, fmt.Errorf("core: table %q: a read-only replica cannot persist (its durability is the leader's)", name)
+		}
+		// Both features mutate state the leader never ships: touch
+		// rewrites freshness on reads, distill-on-rot feeds the shelf
+		// from locally computed rot. A replica must not invent either.
+		cfg.TouchOnRead = false
+		cfg.DistillOnRot = false
 	}
 	workers := dbc.Workers
 	if workers < 1 {
@@ -147,17 +174,21 @@ func newTable(name string, cfg TableConfig, clk clock.Clock, seed int64, dir str
 		durability = wal.DurabilityNone
 	}
 	n := cfg.Shards
+	_, isNull := cfg.Fungus.(fungus.Null)
 	t := &Table{
-		name:       name,
-		cfg:        cfg,
-		clk:        clk,
-		shardMu:    make([]sync.RWMutex, n),
-		fngs:       make([]fungus.Fungus, n),
-		rngs:       make([]*rand.Rand, n),
-		rotBufs:    make([][]tuple.ID, n),
-		workers:    workers,
-		durability: durability,
-		plans:      newPlanCache(planCacheCap),
+		name:        name,
+		cfg:         cfg,
+		clk:         clk,
+		seed:        seed,
+		shardMu:     make([]sync.RWMutex, n),
+		fngs:        make([]fungus.Fungus, n),
+		rngs:        make([]*rand.Rand, n),
+		rotBufs:     make([][]tuple.ID, n),
+		workers:     workers,
+		durability:  durability,
+		plans:       newPlanCache(planCacheCap),
+		tickLog:     !isNull,
+		replayTicks: cfg.ReadOnly && fungus.Replayable(cfg.Fungus),
 	}
 	// Shard 0 draws from the table stream (shared with the shelf, via a
 	// locked source); shard i > 0 gets its own stream derived from
@@ -329,6 +360,9 @@ func (t *Table) InsertDurable(attrs []tuple.Value) (tuple.Tuple, wal.CommitWait,
 	if err := t.cfg.Schema.Validate(attrs); err != nil {
 		return tuple.Tuple{}, wal.CommitWait{}, err
 	}
+	if t.cfg.ReadOnly {
+		return tuple.Tuple{}, wal.CommitWait{}, t.errReadOnly()
+	}
 	if t.closed.Load() {
 		return tuple.Tuple{}, wal.CommitWait{}, t.errClosed()
 	}
@@ -393,6 +427,9 @@ func (t *Table) InsertBatchDurable(rows [][]tuple.Value) ([]tuple.Tuple, wal.Com
 		if err := t.cfg.Schema.Validate(row); err != nil {
 			return nil, wal.CommitWait{}, fmt.Errorf("core: batch row %d: %w", r, err)
 		}
+	}
+	if t.cfg.ReadOnly {
+		return nil, wal.CommitWait{}, t.errReadOnly()
 	}
 	if t.closed.Load() {
 		return nil, wal.CommitWait{}, t.errClosed()
@@ -480,6 +517,9 @@ func (t *Table) InsertShardBatch(i int, rows [][]tuple.Value) ([]tuple.Tuple, er
 		if err := t.cfg.Schema.Validate(row); err != nil {
 			return nil, fmt.Errorf("core: batch row %d: %w", r, err)
 		}
+	}
+	if t.cfg.ReadOnly {
+		return nil, t.errReadOnly()
 	}
 	if t.closed.Load() {
 		return nil, t.errClosed()
@@ -717,6 +757,15 @@ func (t *Table) Tick() (TableTickReport, error) {
 	if t.closed.Load() {
 		return TableTickReport{}, t.errClosed()
 	}
+	if t.cfg.ReadOnly {
+		// A replica never decays locally: the leader's logged tick and
+		// evict records drive its state (see ApplyShipped). DB-level
+		// ticking degrades to a live-count report.
+		t.rlockAll()
+		live := t.store.Len()
+		t.runlockAll()
+		return TableTickReport{Live: live}, nil
+	}
 	now := t.clk.Now()
 	// Claim this tick's ordinal and decide the TickEvery gate in one
 	// critical section, so concurrent Tick calls each get a distinct
@@ -737,10 +786,25 @@ func (t *Table) Tick() (TableTickReport, error) {
 				return t.errClosed()
 			}
 			sh := t.store.Shard(i)
+			logged := 0
+			if t.log != nil && t.tickLog {
+				// The tick record goes in BEFORE this run's evictions: a
+				// follower replaying the tick re-derives the same rot set
+				// itself, and the evict records that follow become
+				// idempotent no-ops there.
+				if err := t.log.AppendTick(i, uint64(now)); err != nil {
+					return err
+				}
+				logged++
+			}
 			buf := t.fngs[i].Tick(now, sh, t.rngs[i], t.rotBufs[i][:0])
 			t.rotBufs[i] = buf
 			rotted[i] = buf
 			if len(buf) == 0 {
+				if logged > 0 {
+					_, err := t.noteAppendLocked(i, logged)
+					return err
+				}
 				return nil
 			}
 			if t.cfg.DistillOnRot {
@@ -756,7 +820,6 @@ func (t *Table) Tick() (TableTickReport, error) {
 				}
 				doomed[i] = dd
 			}
-			logged := 0
 			for _, id := range buf {
 				if err := sh.Evict(id); err != nil {
 					return fmt.Errorf("core: rot evict: %w", err)

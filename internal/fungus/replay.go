@@ -1,0 +1,38 @@
+package fungus
+
+// Replayable reports whether f's decay is a pure function of the extent
+// and the clock — no RNG draws, no state carried between ticks, no
+// query-driven freshness writes. A replication follower may re-execute
+// logged tick records through a replayable fungus and reproduce the
+// leader's freshness trajectory exactly, whether it joined from the
+// full log history or re-based from a snapshot mid-stream (every
+// built-in replayable law derives each tick's decay from the current
+// freshness values, which snapshots carry exactly).
+//
+// Non-replayable laws — EGI (RNG draws plus an infection front that a
+// mid-stream join cannot reconstruct) and AccessRefresh (freshness
+// restored by unlogged query touches) — still replicate correctly for
+// membership: the leader's logged evict records carry every rot
+// decision. Only the follower's freshness/infection bytes are then
+// approximate, so the byte-identical convergence guarantee is scoped to
+// replayable laws. See docs/REPLICATION.md.
+func Replayable(f Fungus) bool {
+	switch v := f.(type) {
+	case Null, TTL, Linear, Exponential, ValueRate, Quota, Staggered:
+		return true
+	case Targeted:
+		return Replayable(v.Inner)
+	case Seasonal:
+		return Replayable(v.Inner)
+	case Composite:
+		for _, m := range v.Members {
+			if !Replayable(m) {
+				return false
+			}
+		}
+		return true
+	default:
+		// EGI, AccessRefresh, and any unknown law: assume stateful.
+		return false
+	}
+}

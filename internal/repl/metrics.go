@@ -1,0 +1,60 @@
+// Replication metrics: the follower's scrape surface. Registered into
+// the follower server's obs.Registry, so GET /metrics on a follower
+// exports its replication position next to the engine metrics.
+package repl
+
+import "fungusdb/internal/obs"
+
+// Collector exports per-table replication metrics:
+//
+//	fungusdb_repl_lag_records{table}          gauge — leader records not yet applied
+//	fungusdb_repl_connected{table}            gauge — 1 while a stream is live
+//	fungusdb_repl_generation{table}           gauge — WAL generation being tailed
+//	fungusdb_repl_applied_records_total{table,kind} counter — kind = insert|evict|tick
+//	fungusdb_repl_batches_total{table}        counter — shipped batches applied
+//	fungusdb_repl_reconnects_total{table}     counter — stream drops survived
+//	fungusdb_repl_rebases_total{table}        counter — snapshot re-bases
+func (f *Follower) Collector() obs.Collector {
+	return obs.CollectorFunc(func() []obs.Family {
+		sts := f.Status()
+		lag := obs.Family{Name: "fungusdb_repl_lag_records", Kind: obs.KindGauge,
+			Help: "Leader WAL records not yet applied by this follower."}
+		conn := obs.Family{Name: "fungusdb_repl_connected", Kind: obs.KindGauge,
+			Help: "1 while the replication stream for the table is live."}
+		gen := obs.Family{Name: "fungusdb_repl_generation", Kind: obs.KindGauge,
+			Help: "WAL generation the follower is tailing."}
+		applied := obs.Family{Name: "fungusdb_repl_applied_records_total", Kind: obs.KindCounter,
+			Help: "Shipped WAL records applied, by record kind."}
+		batches := obs.Family{Name: "fungusdb_repl_batches_total", Kind: obs.KindCounter,
+			Help: "Shipped record batches applied."}
+		reconnects := obs.Family{Name: "fungusdb_repl_reconnects_total", Kind: obs.KindCounter,
+			Help: "Replication stream drops survived by reconnecting."}
+		rebases := obs.Family{Name: "fungusdb_repl_rebases_total", Kind: obs.KindCounter,
+			Help: "Snapshot re-bases (full replica rebuilds) performed."}
+		for _, st := range sts {
+			tl := obs.Label{Name: "table", Value: st.Table}
+			b := func(v bool) float64 {
+				if v {
+					return 1
+				}
+				return 0
+			}
+			lag.Samples = append(lag.Samples, obs.Sample{Labels: []obs.Label{tl}, Value: float64(st.LagRecords)})
+			conn.Samples = append(conn.Samples, obs.Sample{Labels: []obs.Label{tl}, Value: b(st.Connected)})
+			gen.Samples = append(gen.Samples, obs.Sample{Labels: []obs.Label{tl}, Value: float64(st.Generation)})
+			for _, kc := range []struct {
+				kind string
+				v    uint64
+			}{{"insert", st.Inserts}, {"evict", st.Evicts}, {"tick", st.Ticks}} {
+				applied.Samples = append(applied.Samples, obs.Sample{
+					Labels: []obs.Label{tl, {Name: "kind", Value: kc.kind}},
+					Value:  float64(kc.v),
+				})
+			}
+			batches.Samples = append(batches.Samples, obs.Sample{Labels: []obs.Label{tl}, Value: float64(st.Batches)})
+			reconnects.Samples = append(reconnects.Samples, obs.Sample{Labels: []obs.Label{tl}, Value: float64(st.Reconnects)})
+			rebases.Samples = append(rebases.Samples, obs.Sample{Labels: []obs.Label{tl}, Value: float64(st.Rebases)})
+		}
+		return []obs.Family{lag, conn, gen, applied, batches, reconnects, rebases}
+	})
+}

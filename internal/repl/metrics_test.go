@@ -1,0 +1,122 @@
+// Observability under replication: the follower's /metrics scrape
+// carries its replication position, and its /v1 stats answer embeds the
+// same numbers for CLI tooling.
+package repl_test
+
+import (
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape: status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	return string(body)
+}
+
+// metricValue finds a sample line by its exact name{labels} prefix.
+func metricValue(t *testing.T, body, sample string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, sample+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(line[len(sample)+1:]), 64)
+		if err != nil {
+			t.Fatalf("sample %s: bad value in %q: %v", sample, line, err)
+		}
+		return v
+	}
+	t.Fatalf("sample %s missing from scrape:\n%s", sample, body)
+	return 0
+}
+
+// TestFollowerMetricsScrape scrapes a follower while the stream is
+// live, then pins the exact gauges and counters after quiesce.
+func TestFollowerMetricsScrape(t *testing.T) {
+	lh := startLeader(t, eventsSpec(3))
+	lh.ingest(t, 30, 0)
+	fh := startFollower(t, lh.srv.URL, nil)
+
+	// Scrape while replication is (potentially) still in flight: the
+	// families must be present and well-formed even mid-stream.
+	mid := scrape(t, fh.srv.URL)
+	for _, fam := range []string{
+		"fungusdb_repl_lag_records", "fungusdb_repl_connected",
+		"fungusdb_repl_generation", "fungusdb_repl_applied_records_total",
+		"fungusdb_repl_batches_total", "fungusdb_repl_reconnects_total",
+		"fungusdb_repl_rebases_total",
+	} {
+		if !strings.Contains(mid, fam) {
+			t.Errorf("mid-replication scrape missing family %s", fam)
+		}
+	}
+
+	lh.tick(t, 2)
+	fh.waitSynced(t, lh)
+	body := scrape(t, fh.srv.URL)
+
+	tl := `{table="events"}`
+	if v := metricValue(t, body, "fungusdb_repl_lag_records"+tl); v != 0 {
+		t.Errorf("caught-up lag gauge = %v, want 0", v)
+	}
+	if v := metricValue(t, body, "fungusdb_repl_connected"+tl); v != 1 {
+		t.Errorf("connected gauge = %v, want 1", v)
+	}
+	if v := metricValue(t, body, `fungusdb_repl_applied_records_total{table="events",kind="insert"}`); v != 30 {
+		t.Errorf("applied insert counter = %v, want 30", v)
+	}
+	if v := metricValue(t, body, `fungusdb_repl_applied_records_total{table="events",kind="tick"}`); v != 6 {
+		t.Errorf("applied tick counter = %v, want 6 (2 ticks x 3 shards)", v)
+	}
+	if v := metricValue(t, body, "fungusdb_repl_batches_total"+tl); v < 1 {
+		t.Errorf("batches counter = %v, want >= 1", v)
+	}
+
+	// The follower's engine metrics coexist with the repl families on
+	// the same registry (tuples restored by replication are live).
+	if !strings.Contains(body, "fungusdb_table_live_tuples") {
+		t.Error("follower scrape lost the engine families")
+	}
+
+	// The same position rides the stats API for CLI tooling.
+	st, err := fh.cl.Stats(tableName)
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if st.Replication == nil {
+		t.Fatal("follower stats carry no replication block")
+	}
+	if st.Replication.Leader != lh.srv.URL {
+		t.Errorf("stats leader = %q, want %q", st.Replication.Leader, lh.srv.URL)
+	}
+	if !st.Replication.Connected || st.Replication.LagRecords != 0 {
+		t.Errorf("stats position = %+v, want connected with zero lag", st.Replication)
+	}
+	if st.Replication.Inserts != 30 || st.Replication.Ticks != 6 {
+		t.Errorf("stats counters = %+v, want 30 inserts / 6 ticks", st.Replication)
+	}
+
+	// A leader's stats must NOT grow a replication block.
+	lst, err := lh.cl.Stats(tableName)
+	if err != nil {
+		t.Fatalf("leader stats: %v", err)
+	}
+	if lst.Replication != nil {
+		t.Errorf("leader stats unexpectedly carry replication: %+v", lst.Replication)
+	}
+}

@@ -1,0 +1,302 @@
+// The replication leader endpoint: POST /v2/replicate streams a
+// persistent table's per-shard WAL to a follower as NDJSON events.
+//
+//	header  {"header":{"table","shards","generation","mode","next_ids"}}
+//	snap    {"snap":{"shard","data","last"}}       (rebase mode only)
+//	recs    {"recs":{"shard","from","n","data"}}   raw framed WAL bytes
+//	commit  {"commit":{"generation","counts","reset"}}
+//	ping    {"ping":{"generation","counts"}}       idle keep-alive
+//	end     {"end":{"reason"}}                     deliberate termination
+//
+// The follower connects with a cursor (generation, per-shard byte
+// offsets). If the cursor is still inside the leader's current
+// generation the stream tails from those offsets ("tail" mode); if the
+// leader has checkpointed past it, the needed bytes live only inside
+// the committed snapshots, so the stream re-bases: snapshot chunks per
+// shard, then records from offset zero ("rebase" mode). A cursor that
+// had reached exactly the sizes recorded by the last truncation rolls
+// over to the new generation without a rebase. A cursor from a FUTURE
+// generation means the follower tailed a different leader; it is fenced
+// with 409 stale_generation rather than fed divergent records.
+//
+// Consistency under concurrent checkpoints: Checkpoint publishes the
+// new in-memory generation only after the logs are truncated, and its
+// caller holds every shard lock across both steps. The shipper
+// therefore re-reads the generation after every file read — a stable
+// generation proves the bytes belong to it; a changed one discards the
+// read and re-evaluates (rollover, or rebase_required).
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// ReplicateRequest is the POST /v2/replicate body: the follower's
+// resume cursor. Zero values mean "from the beginning of history".
+type ReplicateRequest struct {
+	Table      string  `json:"table"`
+	Generation uint64  `json:"generation"`
+	Offsets    []int64 `json:"offsets,omitempty"`
+}
+
+// Wire events. Field shapes mirror pkg/client's Repl* types; []byte
+// travels as base64 courtesy of encoding/json.
+type replHeader struct {
+	Table      string   `json:"table"`
+	Shards     int      `json:"shards"`
+	Generation uint64   `json:"generation"`
+	Mode       string   `json:"mode"` // "tail" | "rebase"
+	NextIDs    []uint64 `json:"next_ids,omitempty"`
+}
+
+type replSnap struct {
+	Shard int    `json:"shard"`
+	Data  []byte `json:"data,omitempty"`
+	Last  bool   `json:"last"`
+}
+
+type replRecs struct {
+	Shard int    `json:"shard"`
+	From  int64  `json:"from"`
+	N     int    `json:"n"`
+	Data  []byte `json:"data"`
+}
+
+type replCommit struct {
+	Generation uint64   `json:"generation"`
+	Counts     []uint64 `json:"counts,omitempty"`
+	Reset      bool     `json:"reset,omitempty"`
+}
+
+type replEnd struct {
+	Reason string `json:"reason"`
+}
+
+type replLine struct {
+	Header *replHeader  `json:"header,omitempty"`
+	Snap   *replSnap    `json:"snap,omitempty"`
+	Recs   *replRecs    `json:"recs,omitempty"`
+	Commit *replCommit  `json:"commit,omitempty"`
+	Ping   *replCommit  `json:"ping,omitempty"`
+	End    *replEnd     `json:"end,omitempty"`
+	Error  *ErrorDetail `json:"error,omitempty"`
+}
+
+const (
+	// replSnapChunk is the snapshot chunk size during a rebase — big
+	// enough to amortise the JSON framing, small enough to flush early.
+	replSnapChunk = 256 << 10
+	// replReadBytes caps one recs event's raw WAL payload.
+	replReadBytes = 512 << 10
+	// replPoll is the idle tail loop's sleep between log size probes —
+	// effectively the shipping latency floor after a group-commit
+	// window closes.
+	replPoll = 10 * time.Millisecond
+	// replPing keeps an idle stream verifiably alive and refreshes the
+	// follower's view of the leader's record counts (its lag gauge).
+	replPing = 500 * time.Millisecond
+)
+
+// replTables lists the specs a follower can mirror (spec-created
+// persistent tables). The raw catalog spec is the payload: the follower
+// rebuilds schema, fungus and shard count from it.
+func (s *Server) replTables(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"tables": s.db.TableSpecs()})
+}
+
+func (s *Server) replicate(w http.ResponseWriter, r *http.Request) {
+	var req ReplicateRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	tbl, err := s.db.Table(req.Table)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, ErrCodeNotFound, err)
+		return
+	}
+	log := tbl.ShipLog()
+	if log == nil {
+		writeErr(w, http.StatusBadRequest, ErrCodeBadRequest,
+			fmt.Errorf("table %q is not persistent: no WAL to ship", req.Table))
+		return
+	}
+	shards := log.NumShards()
+	if len(req.Offsets) != 0 && len(req.Offsets) != shards {
+		writeErr(w, http.StatusBadRequest, ErrCodeBadRequest,
+			fmt.Errorf("cursor has %d offsets, table has %d shards", len(req.Offsets), shards))
+		return
+	}
+	man := log.Manifest()
+	if req.Generation > man.Generation {
+		writeErr(w, http.StatusConflict, ErrCodeStaleGen,
+			fmt.Errorf("follower cursor at generation %d but leader is at %d: "+
+				"the cursor belongs to a different or reset leader", req.Generation, man.Generation))
+		return
+	}
+
+	gen := req.Generation
+	offsets := make([]int64, shards)
+	copy(offsets, req.Offsets)
+	mode := "tail"
+	if req.Generation < man.Generation {
+		// The cursor predates the committed generation. If it sits
+		// exactly at the last truncation's sizes the follower missed
+		// nothing — roll it over. Anything else needs the snapshots.
+		if trunc, ok := log.LastTruncation(); ok &&
+			trunc.FromGen == req.Generation && man.Generation == req.Generation+1 &&
+			offsetsAt(offsets, trunc.Sizes) {
+			gen = man.Generation
+			offsets = make([]int64, shards)
+		} else {
+			mode = "rebase"
+		}
+	}
+
+	var blobs [][]byte
+	if mode == "rebase" {
+		man, blobs, err = log.SnapshotBlobs()
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, ErrCodeInternal, err)
+			return
+		}
+		gen = man.Generation
+		offsets = make([]int64, shards)
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	flusher, _ := w.(http.Flusher)
+	rc := http.NewResponseController(w)
+	send := func(line replLine) bool {
+		_ = rc.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
+		if err := writeNDJSON(w, line); err != nil {
+			return false // follower went away; its reconnect resumes the cursor
+		}
+		return true
+	}
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	if !send(replLine{Header: &replHeader{
+		Table: req.Table, Shards: shards, Generation: gen, Mode: mode, NextIDs: man.NextIDs,
+	}}) {
+		return
+	}
+	if mode == "rebase" {
+		for i := 0; i < shards; i++ {
+			blob := blobs[i]
+			for off := 0; ; off += replSnapChunk {
+				end := off + replSnapChunk
+				last := end >= len(blob)
+				if last {
+					end = len(blob)
+				}
+				if !send(replLine{Snap: &replSnap{Shard: i, Data: blob[off:end], Last: last}}) {
+					return
+				}
+				if last {
+					break
+				}
+			}
+		}
+	}
+	flush()
+
+	ctx := r.Context()
+	lastPing := time.Now()
+	for {
+		cur := log.Manifest()
+		if cur.Generation != gen {
+			// A checkpoint committed under the live stream. A fully
+			// caught-up cursor (exactly at the truncation sizes) rolls
+			// over; anything behind points at bytes that now exist only
+			// inside the new snapshots.
+			if trunc, ok := log.LastTruncation(); ok &&
+				trunc.FromGen == gen && cur.Generation == gen+1 && offsetsAt(offsets, trunc.Sizes) {
+				gen = cur.Generation
+				for i := range offsets {
+					offsets[i] = 0
+				}
+				if !send(replLine{Commit: &replCommit{Generation: gen, Counts: log.RecordCounts(), Reset: true}}) {
+					return
+				}
+				flush()
+				continue
+			}
+			send(replLine{End: &replEnd{Reason: "rebase_required"}})
+			flush()
+			return
+		}
+		progress := false
+		for i := 0; i < shards; i++ {
+			if err := log.FlushShard(i); err != nil {
+				send(replLine{Error: &ErrorDetail{Code: ErrCodeInternal, Message: err.Error()}})
+				flush()
+				return
+			}
+			data, nrec, err := log.ReadShard(i, offsets[i], replReadBytes)
+			if err != nil {
+				send(replLine{Error: &ErrorDetail{Code: ErrCodeInternal, Message: err.Error()}})
+				flush()
+				return
+			}
+			if len(data) == 0 {
+				continue
+			}
+			// Generation stability: if a checkpoint committed during the
+			// read, these bytes may already belong to the next generation
+			// at rewound offsets. Discard and let the outer check decide.
+			if log.Manifest().Generation != gen {
+				break
+			}
+			if !send(replLine{Recs: &replRecs{Shard: i, From: offsets[i], N: nrec, Data: data}}) {
+				return
+			}
+			offsets[i] += int64(len(data))
+			progress = true
+		}
+		if progress {
+			// One commit per shipped round: the follower's batch/cursor
+			// boundary, aligned with group-commit windows on the leader
+			// (appends become visible to ReadShard at flush granularity).
+			if !send(replLine{Commit: &replCommit{Generation: gen, Counts: log.RecordCounts()}}) {
+				return
+			}
+			flush()
+			lastPing = time.Now()
+			continue
+		}
+		if time.Since(lastPing) >= replPing {
+			if !send(replLine{Ping: &replCommit{Generation: gen, Counts: log.RecordCounts()}}) {
+				return
+			}
+			flush()
+			lastPing = time.Now()
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(replPoll):
+		}
+	}
+}
+
+// offsetsAt reports whether a follower cursor sits exactly at the
+// recorded truncation sizes (i.e. it had applied everything the
+// checkpoint folded into the snapshots).
+func offsetsAt(offsets []int64, sizes []int64) bool {
+	if len(offsets) != len(sizes) {
+		return false
+	}
+	for i := range offsets {
+		if offsets[i] != sizes[i] {
+			return false
+		}
+	}
+	return true
+}

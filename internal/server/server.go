@@ -51,6 +51,30 @@ type Config struct {
 	// to add your own collectors (ingest pipelines, harnesses) to the
 	// same scrape.
 	Registry *obs.Registry
+	// ReadOnly turns the server into a replication follower front end:
+	// every mutating route (table DDL, row inserts, decay ticks) answers
+	// 403 with the stable "read_only" code. Reads — queries without
+	// CONSUME, stats, containers, metrics — stay fully served.
+	ReadOnly bool
+	// ReplStatus, when set, reports a table's replication position; the
+	// stats endpoint attaches it as the "replication" object. Follower
+	// mode wires the repl daemon's per-table status in here.
+	ReplStatus func(table string) (ReplStatus, bool)
+}
+
+// ReplStatus is a follower table's replication position as reported by
+// GET /v1/tables/{table}/stats on a follower server.
+type ReplStatus struct {
+	Leader     string `json:"leader"`
+	Generation uint64 `json:"generation"`
+	LagRecords uint64 `json:"lag_records"`
+	Inserts    uint64 `json:"applied_inserts"`
+	Evicts     uint64 `json:"applied_evicts"`
+	Ticks      uint64 `json:"applied_ticks"`
+	Batches    uint64 `json:"batches"`
+	Reconnects uint64 `json:"reconnects"`
+	Rebases    uint64 `json:"rebases"`
+	Connected  bool   `json:"connected"`
 }
 
 // Server is the HTTP front end of one DB.
@@ -110,6 +134,8 @@ func NewWithConfig(db *core.DB, cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/tick", s.tick)
 	s.mux.HandleFunc("POST /v2/prepare", s.prepareV2)
 	s.mux.HandleFunc("POST /v2/query", s.queryV2)
+	s.mux.HandleFunc("GET /v2/replicate/tables", s.replTables)
+	s.mux.HandleFunc("POST /v2/replicate", s.replicate)
 	return s
 }
 
@@ -140,6 +166,13 @@ const (
 	ErrCodeNotFound   = "not_found"   // unknown table/container/handle
 	ErrCodeExec       = "exec_error"  // runtime query failure
 	ErrCodeInternal   = "internal"    // engine-side failures
+	// ErrCodeReadOnly rejects mutations on a replication follower: table
+	// DDL, inserts, ticks and CONSUME/distilling queries all pin it.
+	ErrCodeReadOnly = "read_only"
+	// ErrCodeStaleGen fences a replication stream whose cursor claims a
+	// WAL generation the leader has never produced — the follower tailed
+	// a different (or since-reset) leader and must not be fed records.
+	ErrCodeStaleGen = "stale_generation"
 )
 
 // ErrorDetail is the inner error object of the JSON envelope.
@@ -161,6 +194,28 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeErr(w http.ResponseWriter, status int, code string, err error) {
 	writeJSON(w, status, errorBody{Error: ErrorDetail{Code: code, Message: err.Error()}})
+}
+
+// writeExecErr maps a runtime failure from the engine: a rejected
+// mutation on a replica table gets its stable code (and 403), anything
+// else is a plain exec error.
+func writeExecErr(w http.ResponseWriter, err error) {
+	if errors.Is(err, core.ErrReadOnly) {
+		writeErr(w, http.StatusForbidden, ErrCodeReadOnly, err)
+		return
+	}
+	writeErr(w, http.StatusBadRequest, ErrCodeExec, err)
+}
+
+// rejectReadOnly answers a mutating route on a follower server. It
+// returns true when the request was rejected.
+func (s *Server) rejectReadOnly(w http.ResponseWriter) bool {
+	if !s.cfg.ReadOnly {
+		return false
+	}
+	writeErr(w, http.StatusForbidden, ErrCodeReadOnly,
+		errors.New("server is a read-only replication follower"))
+	return true
 }
 
 func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
@@ -194,6 +249,9 @@ type CreateTableRequest struct {
 }
 
 func (s *Server) createTable(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
 	var req CreateTableRequest
 	if !s.readJSON(w, r, &req) {
 		return
@@ -252,6 +310,9 @@ func (s *Server) table(w http.ResponseWriter, r *http.Request) (*core.Table, boo
 }
 
 func (s *Server) dropTable(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
 	name := r.PathValue("table")
 	if err := s.db.DropTable(name); err != nil {
 		writeErr(w, http.StatusNotFound, ErrCodeNotFound, err)
@@ -273,6 +334,9 @@ type InsertResponse struct {
 }
 
 func (s *Server) insertRows(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
 	tbl, ok := s.table(w, r)
 	if !ok {
 		return
@@ -298,7 +362,7 @@ func (s *Server) insertRows(w http.ResponseWriter, r *http.Request) {
 	// is taken once, instead of once per row.
 	tps, err := tbl.InsertBatch(rows)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, ErrCodeExec, err)
+		writeExecErr(w, err)
 		return
 	}
 	resp := InsertResponse{Inserted: len(tps), FirstID: uint64(tps[0].ID)}
@@ -380,6 +444,9 @@ type StatsResponse struct {
 	GroupCommits uint64  `json:"group_commits,omitempty"`
 	AvgGroupSize float64 `json:"avg_group_size,omitempty"`
 	Persistent   bool    `json:"persistent"`
+	// Replication is present only on a follower: the table's position
+	// and lag against the leader it tails.
+	Replication *ReplStatus `json:"replication,omitempty"`
 }
 
 func (s *Server) tableStats(w http.ResponseWriter, r *http.Request) {
@@ -391,6 +458,12 @@ func (s *Server) tableStats(w http.ResponseWriter, r *http.Request) {
 	c := tbl.Counters()
 	wi := tbl.WALInfo()
 	st := tbl.StoreStats()
+	var repl *ReplStatus
+	if s.cfg.ReplStatus != nil {
+		if rs, ok := s.cfg.ReplStatus(tbl.Name()); ok {
+			repl = &rs
+		}
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Live: p.Live, Shards: tbl.Shards(), Bytes: p.Bytes, MeanFresh: p.Mean, Infected: p.Infected,
 		Inserted: c.Inserted, Rotted: c.Rotted, Consumed: c.Consumed,
@@ -400,7 +473,7 @@ func (s *Server) tableStats(w http.ResponseWriter, r *http.Request) {
 		BatchesScanned: st.BatchesScanned, RowsVectorized: st.RowsVectorized,
 		WALShards: wi.LogShards, WALGeneration: wi.Generation,
 		WALSyncMode: wi.SyncMode, GroupCommits: wi.GroupCommits, AvgGroupSize: wi.AvgGroupSize,
-		Persistent: wi.Persistent,
+		Persistent: wi.Persistent, Replication: repl,
 	})
 }
 
@@ -559,7 +632,7 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	rows, err := pq.ExecuteOpts(opt)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, ErrCodeExec, err)
+		writeExecErr(w, err)
 		return
 	}
 	defer rows.Close()
@@ -606,6 +679,9 @@ type TickResponse struct {
 }
 
 func (s *Server) tick(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
 	var req TickRequest
 	if !s.readJSON(w, r, &req) {
 		return

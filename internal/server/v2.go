@@ -229,7 +229,7 @@ func (s *Server) queryV2(w http.ResponseWriter, r *http.Request) {
 	}
 	rows, err := pq.ExecuteOpts(opt, params...)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, ErrCodeExec, err)
+		writeExecErr(w, err)
 		return
 	}
 	defer rows.Close()

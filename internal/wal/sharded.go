@@ -115,8 +115,21 @@ type ShardedLog struct {
 	dir  string
 	logs []*Log
 
-	mu  sync.Mutex // guards man (checkpoint vs. stats readers)
-	man Manifest
+	mu    sync.Mutex // guards man and trunc (checkpoint vs. stats/ship readers)
+	man   Manifest
+	trunc *Truncation
+}
+
+// Truncation records the flushed byte size of every shard log at the
+// moment the last checkpoint truncated them. The replication shipper
+// compares a follower's cursors against it when the generation advances
+// under a live stream: cursors that had reached the truncation sizes
+// roll over to the new generation seamlessly; cursors behind them point
+// at records that now exist only inside the snapshot, so the stream
+// must re-base.
+type Truncation struct {
+	FromGen uint64  // the generation whose logs were truncated
+	Sizes   []int64 // per-shard flushed size immediately before truncation
 }
 
 // OpenSharded opens the per-shard logs of dir for appending, creating
@@ -174,6 +187,14 @@ func (sl *ShardedLog) AppendInsert(i int, tp tuple.Tuple) error {
 // AppendEvict logs the eviction of id to its owning shard i's log.
 func (sl *ShardedLog) AppendEvict(i int, id tuple.ID) error {
 	return sl.logs[i].AppendEvict(id)
+}
+
+// AppendTick logs a fungus run on shard i at logical time now. The
+// engine appends it BEFORE the run's eviction records, so a follower
+// replaying the tick derives the same rot set itself and the leader's
+// trailing evict records degrade into idempotent no-ops.
+func (sl *ShardedLog) AppendTick(i int, now uint64) error {
+	return sl.logs[i].AppendTick(now)
 }
 
 // SyncShard flushes and fsyncs shard i's log alone. The group-commit
@@ -241,16 +262,46 @@ func (sl *ShardedLog) Checkpoint(ss *storage.ShardedStore, parallelism int) erro
 	if err := writeManifest(sl.dir, man); err != nil {
 		return err
 	}
-	sl.mu.Lock()
-	sl.man = man
-	sl.mu.Unlock()
+	// Capture the flushed log sizes before truncating, then publish the
+	// new generation only AFTER the logs are empty. The replication
+	// shipper reads Manifest() around every log read: publishing last
+	// means a stable generation implies the bytes it read belong to that
+	// generation (the caller holds every shard lock, so no append can
+	// land between truncation and publication).
+	trunc := &Truncation{FromGen: sl.man.Generation, Sizes: make([]int64, len(sl.logs))}
+	for i, l := range sl.logs {
+		if err := l.Flush(); err != nil {
+			return err
+		}
+		fi, err := os.Stat(filepath.Join(sl.dir, ShardLogFile(i)))
+		if err != nil {
+			return fmt.Errorf("wal: checkpoint stat shard %d: %w", i, err)
+		}
+		trunc.Sizes[i] = fi.Size()
+	}
 	for _, l := range sl.logs {
 		if err := l.Truncate(); err != nil {
 			return err
 		}
 	}
+	sl.mu.Lock()
+	sl.man = man
+	sl.trunc = trunc
+	sl.mu.Unlock()
 	cleanupStale(sl.dir, man)
 	return nil
+}
+
+// LastTruncation returns a copy of the most recent checkpoint's
+// truncation record, or ok=false if no checkpoint has run since open.
+func (sl *ShardedLog) LastTruncation() (Truncation, bool) {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if sl.trunc == nil {
+		return Truncation{}, false
+	}
+	t := Truncation{FromGen: sl.trunc.FromGen, Sizes: append([]int64(nil), sl.trunc.Sizes...)}
+	return t, true
 }
 
 // cleanupStale removes files the committed manifest does not own:
@@ -397,6 +448,10 @@ func recoverMatched(dir string, man Manifest, ss *storage.ShardedStore, parallel
 				if err := sh.Evict(rec.ID); err != nil && !errors.Is(err, storage.ErrNotFound) {
 					return err
 				}
+				return nil
+			case RecTick:
+				// Crash recovery takes freshness from the snapshot, not
+				// from re-running decay; ticks are for live followers.
 				return nil
 			}
 			return fmt.Errorf("unknown record %d", rec.Type)

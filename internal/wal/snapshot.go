@@ -151,6 +151,16 @@ func loadSnapshot(path string, store Extent) (tuple.ID, error) {
 	if err != nil {
 		return 0, fmt.Errorf("wal: snapshot read: %w", err)
 	}
+	return DecodeSnapshot(data, store)
+}
+
+// DecodeSnapshot restores a serialised snapshot from memory into store
+// without touching allocation cursors, returning the header's next-ID
+// high-water mark. A replication follower re-basing from a shipped
+// snapshot uses it directly: the chunks arrive over the wire, never
+// touching the follower's disk. The caller is responsible for
+// FinishRestore and AdvanceNextID once every shard is loaded.
+func DecodeSnapshot(data []byte, store Extent) (tuple.ID, error) {
 	if len(data) < len(snapshotMagic)+4 {
 		return 0, fmt.Errorf("wal: snapshot truncated (%d bytes)", len(data))
 	}
@@ -249,6 +259,11 @@ func RecoverInto(dir string, store Extent) error {
 		case RecEvict:
 			evicts = append(evicts, rec.ID)
 			return nil
+		case RecTick:
+			// Freshness at the crash point is approximated by the
+			// snapshot (see the package comment's bounded-staleness
+			// trade-off); ticks matter only to live followers.
+			return nil
 		}
 		return fmt.Errorf("wal: recover: unknown record %d", rec.Type)
 	})
@@ -304,5 +319,6 @@ func (l *Log) Truncate() error {
 		return fmt.Errorf("wal: truncate seek: %w", err)
 	}
 	l.w.Reset(l.f)
+	l.recs = 0
 	return nil
 }

@@ -74,6 +74,13 @@ type RecType uint8
 const (
 	RecInsert RecType = iota + 1
 	RecEvict
+	// RecTick marks that the table's fungus ran on this shard at a
+	// logical instant. Recovery skips tick records (checkpoint snapshots
+	// already carry exact freshness), but a replication follower running
+	// a replayable decay law re-executes them to reproduce the leader's
+	// freshness trajectory bit-for-bit — see fungus.Replayable and
+	// docs/REPLICATION.md.
+	RecTick
 )
 
 // Rec is one decoded WAL record.
@@ -81,6 +88,7 @@ type Rec struct {
 	Type  RecType
 	Tuple tuple.Tuple // valid for RecInsert
 	ID    tuple.ID    // valid for RecEvict
+	Now   uint64      // valid for RecTick: the clock tick the fungus ran at
 }
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -91,19 +99,27 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // must provide them externally — the engine appends while holding the
 // owning shard's lock.
 type Log struct {
-	mu  sync.Mutex
-	f   *os.File
-	w   *bufio.Writer
-	buf []byte
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	buf  []byte
+	recs uint64 // records appended since the last truncation
 }
 
-// Open opens (creating if needed) the log at path for appending.
+// Open opens (creating if needed) the log at path for appending. The
+// record count of the existing content is rebuilt by a frame scan so
+// replication lag (measured in records, not bytes) stays correct across
+// a leader restart mid-generation.
 func Open(path string) (*Log, error) {
+	_, recs, err := scanFrameFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open: %w", err)
 	}
-	return &Log{f: f, w: bufio.NewWriter(f)}, nil
+	return &Log{f: f, w: bufio.NewWriter(f), recs: recs}, nil
 }
 
 // AppendInsert logs the insertion of tp. The record is buffered, not
@@ -130,6 +146,19 @@ func (l *Log) AppendEvict(id tuple.ID) error {
 	return l.appendFramed(l.buf)
 }
 
+// AppendTick logs a fungus run at logical time now. Tick records are
+// what let a follower with a replayable decay law regenerate freshness
+// locally instead of trusting approximations; on recovery they are
+// skipped.
+func (l *Log) AppendTick(now uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.buf = l.buf[:0]
+	l.buf = append(l.buf, byte(RecTick))
+	l.buf = binary.LittleEndian.AppendUint64(l.buf, now)
+	return l.appendFramed(l.buf)
+}
+
 func (l *Log) appendFramed(payload []byte) error {
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
@@ -140,7 +169,29 @@ func (l *Log) appendFramed(payload []byte) error {
 	if _, err := l.w.Write(payload); err != nil {
 		return fmt.Errorf("wal: append: %w", err)
 	}
+	l.recs++
 	return nil
+}
+
+// Flush pushes buffered records to the OS without fsyncing. The
+// replication shipper flushes before reading the log file so every
+// acknowledged append is visible to the stream; durability still comes
+// only from Sync.
+func (l *Log) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
+	}
+	return nil
+}
+
+// Records returns the number of records appended since the log was last
+// truncated (including records still in the write buffer).
+func (l *Log) Records() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.recs
 }
 
 // Sync flushes buffered records and fsyncs the file. Safe to call
@@ -237,6 +288,11 @@ func decodeRec(payload []byte) (Rec, error) {
 			return Rec{}, fmt.Errorf("bad evict record length %d", len(payload))
 		}
 		return Rec{Type: RecEvict, ID: tuple.ID(binary.LittleEndian.Uint64(payload[1:]))}, nil
+	case RecTick:
+		if len(payload) != 9 {
+			return Rec{}, fmt.Errorf("bad tick record length %d", len(payload))
+		}
+		return Rec{Type: RecTick, Now: binary.LittleEndian.Uint64(payload[1:])}, nil
 	default:
 		return Rec{}, fmt.Errorf("unknown record type %d", payload[0])
 	}

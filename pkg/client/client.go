@@ -206,6 +206,23 @@ type Stats struct {
 	Ticks       uint64  `json:"ticks"`
 	WALSyncMode string  `json:"wal_sync_mode"`
 	Persistent  bool    `json:"persistent"`
+	// Replication is present only on a follower: its position and lag
+	// against the leader it tails.
+	Replication *ReplStats `json:"replication,omitempty"`
+}
+
+// ReplStats describes a follower table's replication position.
+type ReplStats struct {
+	Leader     string `json:"leader"`
+	Generation uint64 `json:"generation"`
+	LagRecords uint64 `json:"lag_records"`
+	Inserts    uint64 `json:"applied_inserts"`
+	Evicts     uint64 `json:"applied_evicts"`
+	Ticks      uint64 `json:"applied_ticks"`
+	Batches    uint64 `json:"batches"`
+	Reconnects uint64 `json:"reconnects"`
+	Rebases    uint64 `json:"rebases"`
+	Connected  bool   `json:"connected"`
 }
 
 // Stats fetches a table's profile and counters.

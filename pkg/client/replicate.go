@@ -1,0 +1,165 @@
+// The replication tailer: a thin, engine-free client for the leader's
+// POST /v2/replicate NDJSON stream. Like the rest of the package it
+// mirrors the wire JSON with its own types; the []byte fields carry raw
+// WAL frames / snapshot chunks (base64 on the wire, decoded by
+// encoding/json) and are opaque here — the follower daemon feeds them
+// to the engine's replay machinery.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// ReplCursor is a follower's resume position: the WAL generation it has
+// been applying and, per shard, the byte offset one past the last
+// applied record in that shard's log. The zero value means "from the
+// beginning of history".
+type ReplCursor struct {
+	Generation uint64  `json:"generation"`
+	Offsets    []int64 `json:"offsets,omitempty"`
+}
+
+// ReplHeader opens every replication stream. Mode is "tail" (records
+// follow from the requested cursor) or "rebase" (the cursor predates
+// the leader's last checkpoint; per-shard snapshot chunks follow, then
+// records from offset zero of the named generation).
+type ReplHeader struct {
+	Table      string   `json:"table"`
+	Shards     int      `json:"shards"`
+	Generation uint64   `json:"generation"`
+	Mode       string   `json:"mode"`
+	NextIDs    []uint64 `json:"next_ids,omitempty"`
+}
+
+// ReplSnap is one chunk of one shard's snapshot during a rebase. Last
+// marks the shard's final chunk; a shard with no snapshot data sends a
+// single empty last chunk.
+type ReplSnap struct {
+	Shard int    `json:"shard"`
+	Data  []byte `json:"data,omitempty"`
+	Last  bool   `json:"last"`
+}
+
+// ReplRecs carries whole WAL frames for one shard: Data is the raw
+// framed bytes starting at byte offset From of the shard's log, N the
+// record count within.
+type ReplRecs struct {
+	Shard int    `json:"shard"`
+	From  int64  `json:"from"`
+	N     int    `json:"n"`
+	Data  []byte `json:"data"`
+}
+
+// ReplCommit marks a group-commit window boundary: everything shipped
+// since the last commit is a consistent batch. Counts is the leader's
+// per-shard record count for the generation (the follower's lag is the
+// difference to what it has applied). Reset means the leader
+// checkpointed while the follower was fully caught up: the stream
+// continues at the new generation with all offsets rewound to zero.
+type ReplCommit struct {
+	Generation uint64   `json:"generation"`
+	Counts     []uint64 `json:"counts,omitempty"`
+	Reset      bool     `json:"reset,omitempty"`
+}
+
+// ReplEnd terminates a stream deliberately. Reason "rebase_required"
+// tells the follower to reconnect with its (now stale) cursor and
+// accept the rebase the leader will offer.
+type ReplEnd struct {
+	Reason string `json:"reason"`
+}
+
+// ReplEvent is one NDJSON line of the stream; exactly one field is set.
+type ReplEvent struct {
+	Header *ReplHeader `json:"header,omitempty"`
+	Snap   *ReplSnap   `json:"snap,omitempty"`
+	Recs   *ReplRecs   `json:"recs,omitempty"`
+	Commit *ReplCommit `json:"commit,omitempty"`
+	Ping   *ReplCommit `json:"ping,omitempty"`
+	End    *ReplEnd    `json:"end,omitempty"`
+	Err    *struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error,omitempty"`
+}
+
+// ReplStream is an open replication stream. Next blocks for the next
+// event; Close aborts the stream.
+type ReplStream struct {
+	resp *http.Response
+	sc   *bufio.Scanner
+}
+
+// maxReplLine bounds one NDJSON line: a snapshot chunk or record batch
+// is at most a few MB of base64.
+const maxReplLine = 64 << 20
+
+// Replicate opens a WAL-shipping stream for table from the given
+// cursor. The first event is always a header (or an error).
+func (c *Client) Replicate(table string, cur ReplCursor) (*ReplStream, error) {
+	body, err := json.Marshal(struct {
+		Table string `json:"table"`
+		ReplCursor
+	}{Table: table, ReplCursor: cur})
+	if err != nil {
+		return nil, fmt.Errorf("client: marshal: %w", err)
+	}
+	req, err := http.NewRequest(http.MethodPost, c.base+"/v2/replicate", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("client: request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	if resp.StatusCode >= 400 {
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		return nil, decodeError(resp.StatusCode, data)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), maxReplLine)
+	return &ReplStream{resp: resp, sc: sc}, nil
+}
+
+// Next returns the next stream event. A server-sent error line comes
+// back as a *Error; a closed stream returns io.EOF-like errors from the
+// transport.
+func (s *ReplStream) Next() (*ReplEvent, error) {
+	if !s.sc.Scan() {
+		if err := s.sc.Err(); err != nil {
+			return nil, fmt.Errorf("client: replicate stream: %w", err)
+		}
+		return nil, fmt.Errorf("client: replicate stream closed")
+	}
+	var ev ReplEvent
+	if err := json.Unmarshal(s.sc.Bytes(), &ev); err != nil {
+		return nil, fmt.Errorf("client: replicate decode: %w", err)
+	}
+	if ev.Err != nil {
+		return nil, &Error{Code: ev.Err.Code, Message: ev.Err.Message, Status: 200}
+	}
+	return &ev, nil
+}
+
+// Close aborts the stream.
+func (s *ReplStream) Close() error { return s.resp.Body.Close() }
+
+// ReplTables fetches the leader's replicable table specs as raw JSON
+// (the follower daemon decodes them with the engine's own catalog
+// types, which this package deliberately does not import).
+func (c *Client) ReplTables() ([]json.RawMessage, error) {
+	var resp struct {
+		Tables []json.RawMessage `json:"tables"`
+	}
+	if err := c.do(http.MethodGet, "/v2/replicate/tables", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Tables, nil
+}
