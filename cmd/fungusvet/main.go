@@ -1,0 +1,78 @@
+// Command fungusvet is the engine's project-specific linter: a
+// multichecker over the internal/analysis pack that mechanically
+// enforces the determinism, WAL-exhaustiveness, shard-locking,
+// error-code and metric-catalog invariants documented in
+// docs/ANALYSIS.md.
+//
+// Usage:
+//
+//	go run ./cmd/fungusvet ./...
+//
+// Exit status is 0 when the tree is clean, 1 when there are findings,
+// 2 on a loading or internal error. CI runs it as a blocking job.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fungusdb/internal/analysis"
+)
+
+func main() {
+	listOnly := flag.Bool("list", false, "list the analyzers in the pack and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: fungusvet [packages]\n\nAnalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-16s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *listOnly {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	moduleDir, err := analysis.ModuleRoot(wd)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := analysis.Load(moduleDir, patterns)
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analysis.All())
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		pos := d.Pos
+		// Paths relative to the module root keep the output stable
+		// across checkouts (and clickable in CI logs).
+		if rel, err := filepath.Rel(moduleDir, pos.Filename); err == nil {
+			pos.Filename = rel
+		}
+		fmt.Printf("%s: [%s] %s\n", pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Printf("fungusvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fungusvet:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,14 @@
+package analysis
+
+// All returns the full fungusvet analyzer pack, in the order findings
+// are most useful to read: mechanical invariants first, catalog
+// checks last.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		WalExhaustive,
+		LockDiscipline,
+		Errcode,
+		MetricName,
+	}
+}

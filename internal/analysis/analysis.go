@@ -1,0 +1,279 @@
+// Package analysis is fungusvet's analyzer framework: a deliberately
+// small, dependency-free re-implementation of the golang.org/x/tools
+// go/analysis surface (Analyzer, Pass, Diagnostic) plus the project's
+// annotation conventions. The build environment vendors no third-party
+// modules, so the framework loads packages itself (see load.go) with
+// nothing but go/ast, go/types and the go command.
+//
+// The five analyzers in this package turn the engine's correctness
+// conventions — determinism of replayed code, WAL record-kind
+// exhaustiveness, shard-lock discipline, the stable error-code
+// envelope and the fungusdb_ metric catalog — into compile-time
+// contracts. docs/ANALYSIS.md documents each invariant and why it
+// exists; cmd/fungusvet is the multichecker binary CI runs.
+//
+// # Annotations
+//
+// Three comment directives are recognised:
+//
+//	//fungusvet:allow <analyzer> -- <reason>
+//	//fungusvet:requires shardlock
+//	//fungusvet:acquires shardlock
+//
+// "allow" suppresses diagnostics from the named analyzer on the same
+// source line (or, for a standalone comment line, the line below it).
+// The reason string after "--" is mandatory: an allow without one is
+// itself a finding, so every escape hatch in the tree records why it
+// is safe.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one fungusvet check. The shape mirrors
+// golang.org/x/tools/go/analysis so the pack could migrate to the real
+// framework if the dependency ever becomes available.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //fungusvet:allow annotations.
+	Name string
+	// Doc is the one-paragraph invariant statement shown by
+	// fungusvet's usage text.
+	Doc string
+	// Run analyses one package. Diagnostics go through pass.Report.
+	// Packages are presented in dependency order, so an analyzer that
+	// accumulates cross-package facts (lockdiscipline) sees callees
+	// before callers.
+	Run func(pass *Pass) error
+}
+
+// Pass holds one package's syntax and type information for one
+// analyzer run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Path     string // package import path
+	Pkg      *types.Package
+	Info     *types.Info
+	// ModuleDir is the absolute path of the module root, so analyzers
+	// can consult checked-in project files (metricname reads the
+	// docs/OBSERVABILITY.md catalog).
+	ModuleDir string
+
+	diags  *[]Diagnostic
+	allows map[string][]allowDirective // file name -> directives
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// allowDirective is one parsed //fungusvet:allow comment.
+type allowDirective struct {
+	line     int    // line the directive suppresses
+	ownLine  int    // line the comment itself sits on
+	analyzer string // analyzer name it names
+	reason   string // text after "--", trimmed
+	pos      token.Position
+}
+
+const allowPrefix = "//fungusvet:allow"
+
+// parseAllows extracts every //fungusvet:allow directive from a file.
+// A directive on a line of its own covers the next line; a trailing
+// directive covers its own line.
+func parseAllows(fset *token.FileSet, file *ast.File) []allowDirective {
+	var out []allowDirective
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, allowPrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, allowPrefix)
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // e.g. //fungusvet:allowx
+			}
+			name, reason := rest, ""
+			if i := strings.Index(rest, "--"); i >= 0 {
+				name, reason = rest[:i], strings.TrimSpace(rest[i+2:])
+			}
+			// The analyzer name is the first word; anything further
+			// before the "--" (or a missing "--" entirely) leaves the
+			// directive reasonless, which is itself reported.
+			name = strings.TrimSpace(name)
+			if f := strings.Fields(name); len(f) > 0 {
+				name = f[0]
+			}
+			pos := fset.Position(c.Pos())
+			d := allowDirective{ownLine: pos.Line, analyzer: name, reason: reason, pos: pos}
+			// A comment that starts its line is a standalone directive
+			// covering the next line; otherwise it trails the code it
+			// covers.
+			if isLineStart(fset, file, c) {
+				d.line = pos.Line + 1
+			} else {
+				d.line = pos.Line
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// isLineStart reports whether comment c is the first token on its
+// line (no code precedes it).
+func isLineStart(fset *token.FileSet, file *ast.File, c *ast.Comment) bool {
+	pos := fset.Position(c.Pos())
+	first := true
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil || !first {
+			return false
+		}
+		if n.Pos().IsValid() && n.Pos() < c.Pos() {
+			p := fset.Position(n.Pos())
+			if p.Line == pos.Line {
+				first = false
+				return false
+			}
+		}
+		return true
+	})
+	return first
+}
+
+// Report files a diagnostic unless an allow directive suppresses it.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	for _, d := range p.allows[position.Filename] {
+		if d.analyzer == p.Analyzer.Name && d.line == position.Line && d.reason != "" {
+			return
+		}
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// checkAllowDirectives reports allow annotations naming this analyzer
+// that carry no reason: the escape hatch is only valid with a recorded
+// justification.
+func (p *Pass) checkAllowDirectives() {
+	for _, dirs := range p.allows {
+		for _, d := range dirs {
+			if d.analyzer == p.Analyzer.Name && d.reason == "" {
+				*p.diags = append(*p.diags, Diagnostic{
+					Pos:      d.pos,
+					Analyzer: p.Analyzer.Name,
+					Message:  `fungusvet:allow needs a reason: "//fungusvet:allow ` + d.analyzer + ` -- <why this is safe>"`,
+				})
+			}
+		}
+	}
+}
+
+// RunAnalyzers applies every analyzer to every package (packages must
+// already be in dependency order, as Load returns them) and returns
+// the surviving diagnostics sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allows := map[string][]allowDirective{}
+		for _, f := range pkg.Syntax {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			allows[name] = append(allows[name], parseAllows(pkg.Fset, f)...)
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Path:      pkg.Path,
+				Pkg:       pkg.Types,
+				Info:      pkg.Info,
+				ModuleDir: pkg.ModuleDir,
+				diags:     &diags,
+				allows:    allows,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+			}
+			pass.checkAllowDirectives()
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// calleeFunc resolves the called function of a call expression to its
+// types object, or nil when the callee is dynamic (interface method
+// value, func-typed variable, conversion).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// namedType unwraps pointers and aliases and returns the named type of
+// t, or nil.
+func namedType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if n, ok := types.Unalias(t).(*types.Named); ok {
+		return n
+	}
+	return nil
+}
+
+// docHasDirective reports whether a declaration's doc comment contains
+// the given //fungusvet: directive line.
+func docHasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == directive {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,121 @@
+// Package analysistest runs one fungusvet analyzer over a fixture
+// package and compares its diagnostics against // want comments, the
+// same convention golang.org/x/tools/go/analysis/analysistest uses:
+//
+//	t := time.Now() // want `wall-clock read`
+//
+// Each want comment carries one or more regexps (backquoted or
+// double-quoted); every regexp must match a diagnostic reported on
+// that line, and every diagnostic must be claimed by a want. Fixtures
+// live under testdata/src/<name>/ and may import real module packages
+// (fungusdb/internal/wal, fungusdb/internal/obs, ...), so flagged and
+// allowed patterns are written against the genuine types the
+// analyzers key on.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"fungusdb/internal/analysis"
+)
+
+// wantRx pulls the regexp arguments out of a want comment.
+var wantRx = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// Run loads testdata/src/<fixture> as package "fixture/<fixture>",
+// applies the analyzer, and checks the diagnostics against the
+// fixture's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, fixture string) {
+	t.Helper()
+	moduleDir, err := analysis.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join("testdata", "src", fixture)
+	pkg, err := analysis.LoadFixture(moduleDir, dir, "fixture/"+fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	got := map[key][]string{}
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		got[k] = append(got[k], d.Message)
+	}
+	want := map[key][]*regexp.Regexp{}
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// The marker may open the comment or be embedded after
+				// another directive ("//fungusvet:allow x // want ...").
+				idx := strings.Index(c.Text, "// want")
+				if idx < 0 {
+					continue
+				}
+				text := c.Text[idx+len("// want"):]
+				pos := pkg.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, m := range wantRx.FindAllStringSubmatch(text, -1) {
+					src := m[1]
+					if src == "" {
+						src = m[2]
+					}
+					rx, err := regexp.Compile(src)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, src, err)
+					}
+					want[k] = append(want[k], rx)
+				}
+			}
+		}
+	}
+
+	for k, rxs := range want {
+		msgs := got[k]
+		for _, rx := range rxs {
+			matched := -1
+			for i, msg := range msgs {
+				if msg != "" && rx.MatchString(msg) {
+					matched = i
+					break
+				}
+			}
+			if matched < 0 {
+				t.Errorf("%s:%d: no %s diagnostic matching %q (got %s)",
+					k.file, k.line, a.Name, rx, describe(msgs))
+				continue
+			}
+			msgs[matched] = "" // each diagnostic satisfies one want
+		}
+		for _, msg := range msgs {
+			if msg != "" {
+				t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, msg)
+			}
+		}
+		delete(got, k)
+	}
+	for k, msgs := range got {
+		for _, msg := range msgs {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, msg)
+		}
+	}
+}
+
+func describe(msgs []string) string {
+	if len(msgs) == 0 {
+		return "no diagnostics"
+	}
+	return fmt.Sprintf("%q", msgs)
+}

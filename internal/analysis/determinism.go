@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"slices"
+)
+
+// DeterminismPackages lists the replay-reachable import paths: code
+// that runs again — on crash recovery or on a replication follower
+// re-executing RecTick records — and must therefore be a pure function
+// of the WAL stream, the injected clock and the per-shard RNGs.
+// Exported so the analysistest harness can point the analyzer at a
+// fixture package.
+var DeterminismPackages = []string{
+	"fungusdb/internal/core",
+	"fungusdb/internal/fungus",
+	"fungusdb/internal/wal",
+	"fungusdb/internal/repl",
+}
+
+// forbiddenTimeFuncs are the wall-clock reads. time.Since/Until are
+// Now in disguise.
+var forbiddenTimeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// randConstructors build explicitly-seeded generators — the
+// deterministic per-shard pattern the engine wants — and are therefore
+// fine; every other package-level math/rand function draws from the
+// process-global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// Determinism forbids the three classic nondeterminism sources in
+// replay-reachable packages: wall-clock reads, the global math/rand
+// generators (process-seeded, shared across shards) and map iteration
+// (order varies run to run, so anything derived from it — WAL
+// encoding order, snapshot serialization, tick application — diverges
+// between leader and follower). See docs/ANALYSIS.md.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid time.Now, global math/rand and map iteration in replay-reachable packages " +
+		"(inject internal/clock, use the table's per-shard RNGs, iterate sorted keys)",
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *Pass) error {
+	if !slices.Contains(DeterminismPackages, pass.Path) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkDeterministicCall(pass, n)
+			case *ast.RangeStmt:
+				if t := pass.Info.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						pass.Report(n.Pos(), "map iteration order is nondeterministic in a replay-reachable package; iterate a sorted key slice (or annotate why order cannot escape)")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkDeterministicCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if forbiddenTimeFuncs[fn.Name()] && fn.Type().(*types.Signature).Recv() == nil {
+			pass.Report(call.Pos(), "wall-clock read time.%s in a replay-reachable package; take a clock.Clock and use logical ticks", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if fn.Type().(*types.Signature).Recv() == nil && !randConstructors[fn.Name()] {
+			pass.Report(call.Pos(), "global %s.%s is seeded per process, not per shard; use the table's injected *rand.Rand", fn.Pkg().Name(), fn.Name())
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"slices"
+	"strings"
+)
+
+// Errcode configuration, exported for the analysistest fixtures. The
+// analyzer runs only in ErrcodePackages; within them, every error
+// code handed to the envelope (the writeErr helper or an ErrorDetail
+// literal, including the NDJSON mid-stream error lines) must be one
+// of the pinned ErrCode* constants — clients pattern-match on these
+// strings, so an ad-hoc literal is a silent API break.
+var (
+	ErrcodePackages      = []string{"fungusdb/internal/server"}
+	ErrcodeConstPrefix   = "ErrCode"
+	ErrcodeWriterName    = "writeErr"
+	ErrcodeEnvelopeType  = "ErrorDetail"
+	errcodeWriterCodeArg = 2 // writeErr(w, status, code, err)
+)
+
+// Errcode keeps the HTTP error envelope's code set closed: handlers
+// must emit errors through writeErr (never http.Error) and the code
+// must be an ErrCode* constant from internal/server/server.go.
+var Errcode = &Analyzer{
+	Name: "errcode",
+	Doc: "HTTP handlers must emit errors through the envelope writer with a pinned ErrCode* " +
+		"constant — no ad-hoc code strings, no http.Error",
+	Run: runErrcode,
+}
+
+func runErrcode(pass *Pass) error {
+	if !slices.Contains(ErrcodePackages, pass.Path) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkErrcodeCall(pass, n)
+			case *ast.CompositeLit:
+				checkEnvelopeLit(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkErrcodeCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil {
+		return
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "net/http" && fn.Name() == "Error" {
+		pass.Report(call.Pos(), "http.Error bypasses the error envelope; use %s with an %s* code", ErrcodeWriterName, ErrcodeConstPrefix)
+		return
+	}
+	if fn.Name() == ErrcodeWriterName && fn.Pkg() == pass.Pkg && len(call.Args) > errcodeWriterCodeArg {
+		checkCodeExpr(pass, call.Args[errcodeWriterCodeArg])
+	}
+}
+
+// checkEnvelopeLit validates ErrorDetail{Code: ...} literals — the
+// shape the streaming routes use to write mid-stream error lines.
+func checkEnvelopeLit(pass *Pass, lit *ast.CompositeLit) {
+	named := namedType(pass.Info.TypeOf(lit))
+	if named == nil || named.Obj().Name() != ErrcodeEnvelopeType {
+		return
+	}
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Code" {
+				checkCodeExpr(pass, kv.Value)
+			}
+			continue
+		}
+		// Positional form: Code is the struct's first field.
+		if i == 0 {
+			checkCodeExpr(pass, elt)
+		}
+	}
+}
+
+// checkCodeExpr accepts a non-constant expression (the writer helpers
+// thread the code through a parameter) and any constant spelled as an
+// ErrCode*-named identifier; everything else constant — above all a
+// bare string literal — is a finding.
+func checkCodeExpr(pass *Pass, e ast.Expr) {
+	e = ast.Unparen(e)
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return
+	}
+	var obj types.Object
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj = pass.Info.Uses[x]
+	case *ast.SelectorExpr:
+		obj = pass.Info.Uses[x.Sel]
+	}
+	if c, ok := obj.(*types.Const); ok && strings.HasPrefix(c.Name(), ErrcodeConstPrefix) {
+		return
+	}
+	pass.Report(e.Pos(), "ad-hoc error code %s; use one of the pinned %s* constants so the envelope's code set stays closed", tv.Value, ErrcodeConstPrefix)
+}

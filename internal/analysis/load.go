@@ -1,0 +1,229 @@
+package analysis
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked package.
+type Package struct {
+	Path      string
+	Dir       string
+	ModuleDir string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	Info      *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns (e.g. "./...") against the module rooted at
+// moduleDir and returns the matched packages parsed and type-checked,
+// in dependency order (a package always follows everything it
+// imports). Imported packages — including the standard library — are
+// resolved from compiler export data produced by `go list -export`,
+// so loading needs no network and no third-party tooling.
+func Load(moduleDir string, patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, exports, err := goList(moduleDir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	var out []*Package
+	for _, lp := range pkgs {
+		p, err := typecheck(fset, imp, moduleDir, lp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// goList shells out to the go command for package metadata and export
+// data. It returns the non-dependency target packages in dependency
+// order plus an importPath→export-file map covering every dependency.
+func goList(moduleDir string, patterns []string) ([]listPkg, map[string]string, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,Name,GoFiles,CgoFiles,Export,DepOnly,Standard,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleDir
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("analysis: go list %s: %w", strings.Join(patterns, " "), err)
+	}
+	exports := map[string]string{}
+	var targets []listPkg
+	dec := json.NewDecoder(strings.NewReader(string(stdout)))
+	for {
+		var lp listPkg
+		if err := dec.Decode(&lp); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, nil, fmt.Errorf("analysis: decode go list output: %w", err)
+		}
+		if lp.Error != nil {
+			return nil, nil, fmt.Errorf("analysis: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly && !lp.Standard {
+			targets = append(targets, lp)
+		}
+	}
+	return targets, exports, nil
+}
+
+// newExportImporter returns a types importer backed by the export
+// files go list produced. The gc importer caches internally, so the
+// one instance serves every package in the run.
+func newExportImporter(fset *token.FileSet, exports map[string]string) types.ImporterFrom {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+}
+
+// typecheck parses and type-checks one listed package.
+func typecheck(fset *token.FileSet, imp types.ImporterFrom, moduleDir string, lp listPkg) (*Package, error) {
+	if len(lp.CgoFiles) > 0 {
+		return nil, fmt.Errorf("analysis: %s uses cgo, which the loader does not support", lp.ImportPath)
+	}
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: typecheck %s: %w", lp.ImportPath, err)
+	}
+	return &Package{
+		Path:      lp.ImportPath,
+		Dir:       lp.Dir,
+		ModuleDir: moduleDir,
+		Fset:      fset,
+		Syntax:    files,
+		Types:     tpkg,
+		Info:      info,
+	}, nil
+}
+
+// LoadFixture parses and type-checks a single directory of Go files
+// that is NOT part of the module build (an analysistest fixture under
+// testdata/). The fixture may import real module packages and the
+// standard library; those are resolved through go list export data
+// exactly as Load resolves them. importPath becomes the fixture's
+// package path, which analyzers keyed on package identity match
+// against their (test-overridden) configuration.
+func LoadFixture(moduleDir, dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: fixture %s: %w", dir, err)
+	}
+	var goFiles []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			goFiles = append(goFiles, e.Name())
+		}
+	}
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("analysis: fixture %s has no Go files", dir)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	importSet := map[string]bool{}
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse fixture %s: %w", name, err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			importSet[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	exports := map[string]string{}
+	if len(importSet) > 0 {
+		patterns := make([]string, 0, len(importSet))
+		for p := range importSet {
+			patterns = append(patterns, p)
+		}
+		sort.Strings(patterns)
+		if _, exports, err = goList(moduleDir, patterns); err != nil {
+			return nil, err
+		}
+	}
+	return typecheck(fset, newExportImporter(fset, exports), moduleDir, listPkg{
+		ImportPath: importPath,
+		Dir:        dir,
+		GoFiles:    goFiles,
+	})
+}
+
+// ModuleRoot walks up from dir to the enclosing go.mod directory.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,197 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+
+	"fungusdb/internal/obs"
+)
+
+// MetricDocPath overrides where the analyzer finds the metric catalog;
+// empty means <module>/docs/OBSERVABILITY.md. Exported for the
+// analysistest fixtures, which carry their own miniature catalog.
+var MetricDocPath = ""
+
+const metricPrefix = "fungusdb_" //fungusvet:allow metricname -- the analyzer's own prefix constant, not a registration
+
+// metricToken matches metric-name-shaped tokens both in source
+// literals and in the catalog document.
+var metricToken = regexp.MustCompile(`fungusdb_[a-zA-Z0-9_:]+`) //fungusvet:allow metricname -- the catalog token pattern, not a registration
+
+// MetricName pins the observability surface: every metric family the
+// code registers (obs.Family literals, obs.NewHistogram calls, and any
+// fungusdb_-prefixed name literal feeding a registration helper) must
+// carry the fungusdb_ prefix, satisfy the registry's own name grammar
+// (obs.ValidName — the same check Gather applies at scrape time), and
+// appear in docs/OBSERVABILITY.md's catalog. Catalog drift is caught
+// here, statically, instead of by a failing scrape in production.
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc: "obs metric families must be fungusdb_-prefixed, valid per the registry grammar, " +
+		"and documented in docs/OBSERVABILITY.md",
+	Run: runMetricName,
+}
+
+func runMetricName(pass *Pass) error {
+	seen := map[token.Pos]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				named := namedType(pass.Info.TypeOf(n))
+				if named == nil || named.Obj().Pkg() == nil ||
+					!strings.HasSuffix(named.Obj().Pkg().Path(), "internal/obs") {
+					return true
+				}
+				switch named.Obj().Name() {
+				case "Family":
+					if e := structFieldExpr(n, "Name", 0); e != nil {
+						checkFamilyName(pass, e, seen)
+					}
+				case "Label":
+					if e := structFieldExpr(n, "Name", 0); e != nil {
+						checkLabelName(pass, e, seen)
+					}
+				}
+			case *ast.CallExpr:
+				fn := calleeFunc(pass.Info, n)
+				if fn != nil && fn.Name() == "NewHistogram" && fn.Pkg() != nil &&
+					strings.HasSuffix(fn.Pkg().Path(), "internal/obs") && len(n.Args) > 0 {
+					checkFamilyName(pass, n.Args[0], seen)
+				}
+			}
+			return true
+		})
+	}
+	// Catch registrations routed through helpers (the ingest collector
+	// builds families from name literals passed to a closure): any
+	// remaining fungusdb_-prefixed string literal must still be a
+	// valid, documented family name.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING || seen[lit.Pos()] {
+				return true
+			}
+			tv, ok := pass.Info.Types[lit]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				return true
+			}
+			if s := constant.StringVal(tv.Value); strings.HasPrefix(s, metricPrefix) {
+				reportBadMetricName(pass, lit.Pos(), s)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// structFieldExpr returns the value of the named field in a struct
+// composite literal, accepting the positional form at index pos.
+func structFieldExpr(lit *ast.CompositeLit, name string, pos int) ast.Expr {
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if key, ok := kv.Key.(*ast.Ident); ok && key.Name == name {
+				return kv.Value
+			}
+			continue
+		}
+		if i == pos {
+			return elt
+		}
+	}
+	return nil
+}
+
+func constString(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.Info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func markSeen(e ast.Expr, seen map[token.Pos]bool) {
+	if lit, ok := ast.Unparen(e).(*ast.BasicLit); ok {
+		seen[lit.Pos()] = true
+	}
+}
+
+func checkFamilyName(pass *Pass, e ast.Expr, seen map[token.Pos]bool) {
+	s, ok := constString(pass, e)
+	if !ok {
+		return // dynamic name: the registry validates it at Gather time
+	}
+	markSeen(e, seen)
+	if !strings.HasPrefix(s, metricPrefix) {
+		pass.Report(e.Pos(), "metric family %q lacks the %s prefix every engine metric carries", s, metricPrefix)
+		return
+	}
+	reportBadMetricName(pass, e.Pos(), s)
+}
+
+func reportBadMetricName(pass *Pass, pos token.Pos, s string) {
+	if !obs.ValidName(s) {
+		pass.Report(pos, "metric family %q fails the registry's name grammar; Gather would reject the scrape", s)
+		return
+	}
+	if !metricDocumented(pass, s) {
+		pass.Report(pos, "metric family %q is not documented in %s's catalog", s, metricDocRel(pass))
+	}
+}
+
+func checkLabelName(pass *Pass, e ast.Expr, seen map[token.Pos]bool) {
+	s, ok := constString(pass, e)
+	if !ok {
+		return
+	}
+	markSeen(e, seen)
+	if !obs.ValidName(s) {
+		pass.Report(e.Pos(), "label name %q fails the registry's name grammar; Gather would reject the scrape", s)
+	}
+}
+
+// --- catalog loading -------------------------------------------------
+
+var (
+	docMu    sync.Mutex
+	docCache = map[string]map[string]bool{}
+)
+
+func metricDocRel(pass *Pass) string {
+	if MetricDocPath != "" {
+		return filepath.Base(MetricDocPath)
+	}
+	return "docs/OBSERVABILITY.md"
+}
+
+func metricDocumented(pass *Pass, name string) bool {
+	path := MetricDocPath
+	if path == "" {
+		path = filepath.Join(pass.ModuleDir, "docs", "OBSERVABILITY.md")
+	}
+	docMu.Lock()
+	defer docMu.Unlock()
+	names, ok := docCache[path]
+	if !ok {
+		names = map[string]bool{}
+		if data, err := os.ReadFile(path); err == nil {
+			for _, tok := range metricToken.FindAllString(string(data), -1) {
+				names[tok] = true
+			}
+		} else {
+			// A missing catalog fails every name loudly rather than
+			// letting the check silently pass.
+			fmt.Fprintf(os.Stderr, "fungusvet: metricname: cannot read catalog %s: %v\n", path, err)
+		}
+		docCache[path] = names
+	}
+	return names[name]
+}

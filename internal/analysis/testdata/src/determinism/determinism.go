@@ -1,0 +1,41 @@
+// Package determinism is the fixture for the determinism analyzer:
+// wall-clock reads, global math/rand draws and map iteration are
+// flagged; injected clocks, seeded per-shard RNGs and the annotated
+// escape hatch are not.
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() int64 {
+	t := time.Now()   // want `wall-clock read time\.Now`
+	_ = time.Since(t) // want `wall-clock read time\.Since`
+	_ = time.Unix(0, 0).Add(time.Second)
+	return t.Unix()
+}
+
+func globalRand() int {
+	rng := rand.New(rand.NewSource(42)) // seeded constructors are the wanted pattern
+	n := rng.Intn(10)
+	n += rand.Intn(10)                 // want `global rand\.Intn`
+	rand.Shuffle(n, func(i, j int) {}) // want `global rand\.Shuffle`
+	return n
+}
+
+func mapOrder(m map[string]int) int {
+	sum := 0
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		sum += v
+	}
+	//fungusvet:allow determinism -- order is folded into a commutative sum
+	for _, v := range m {
+		sum += v
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m { //fungusvet:allow determinism // want `map iteration order` `needs a reason`
+		keys = append(keys, k)
+	}
+	return sum + len(keys)
+}

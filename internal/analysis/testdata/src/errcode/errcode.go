@@ -1,0 +1,62 @@
+// Package errcode is the fixture for the errcode analyzer: a
+// miniature internal/server error envelope with the pinned code
+// constants, the envelope writer, and the ad-hoc shapes the analyzer
+// must reject.
+package errcode
+
+import (
+	"errors"
+	"net/http"
+)
+
+const (
+	ErrCodeBadRequest = "bad_request"
+	ErrCodeExec       = "exec_error"
+	looseCode         = "loose_code"
+)
+
+type ErrorDetail struct {
+	Code    string
+	Message string
+}
+
+type errorBody struct {
+	Error ErrorDetail
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	_ = status
+	_ = v
+}
+
+func writeErr(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, errorBody{Error: ErrorDetail{Code: code, Message: err.Error()}})
+}
+
+func goodHandler(w http.ResponseWriter) {
+	writeErr(w, http.StatusBadRequest, ErrCodeBadRequest, errors.New("no rows"))
+}
+
+func literalCode(w http.ResponseWriter) {
+	writeErr(w, http.StatusBadRequest, "bad_request", errors.New("no rows")) // want `ad-hoc error code "bad_request"`
+}
+
+func unpinnedConst(w http.ResponseWriter) {
+	writeErr(w, http.StatusBadRequest, looseCode, errors.New("no rows")) // want `ad-hoc error code "loose_code"`
+}
+
+func literalEnvelope() ErrorDetail {
+	return ErrorDetail{Code: "exec_error", Message: "x"} // want `ad-hoc error code "exec_error"`
+}
+
+func positionalEnvelope() ErrorDetail {
+	return ErrorDetail{ErrCodeExec, "x"}
+}
+
+func positionalLiteral() ErrorDetail {
+	return ErrorDetail{"exec_error", "x"} // want `ad-hoc error code "exec_error"`
+}
+
+func rawHTTPError(w http.ResponseWriter) {
+	http.Error(w, "boom", http.StatusBadRequest) // want `http\.Error bypasses the error envelope`
+}

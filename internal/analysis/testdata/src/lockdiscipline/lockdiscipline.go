@@ -1,0 +1,68 @@
+// Package lockdiscipline is the fixture for the lockdiscipline
+// analyzer: a miniature core.Table with per-shard mutexes, a
+// lock-requiring per-shard entry point and the three blessed calling
+// shapes (direct shardMu acquisition, closure acquisition, annotated
+// acquires-helper), plus the violation.
+package lockdiscipline
+
+import "sync"
+
+type table struct {
+	shardMu []sync.RWMutex
+	data    [][]int
+}
+
+// scanShard reads shard i's rows.
+//
+//fungusvet:requires shardlock
+func (t *table) scanShard(i int) int { return len(t.data[i]) }
+
+// lockAll takes every shard lock on the caller's behalf.
+//
+//fungusvet:acquires shardlock
+func (t *table) lockAll() {
+	for i := range t.shardMu {
+		t.shardMu[i].Lock()
+	}
+}
+
+func (t *table) unlockAll() {
+	for i := len(t.shardMu) - 1; i >= 0; i-- {
+		t.shardMu[i].Unlock()
+	}
+}
+
+func (t *table) lockedCaller(i int) int {
+	t.shardMu[i].RLock()
+	defer t.shardMu[i].RUnlock()
+	return t.scanShard(i)
+}
+
+func (t *table) closureLockedCaller(i int) int {
+	n := 0
+	func() {
+		t.shardMu[i].Lock()
+		defer t.shardMu[i].Unlock()
+		n = t.scanShard(i)
+	}()
+	return n
+}
+
+func (t *table) helperCaller(i int) int {
+	t.lockAll()
+	defer t.unlockAll()
+	return t.scanShard(i)
+}
+
+// annotatedCaller passes the obligation up to its own callers.
+//
+//fungusvet:requires shardlock
+func (t *table) annotatedCaller(i int) int { return t.scanShard(i) + 1 }
+
+func (t *table) nakedCaller(i int) int {
+	return t.scanShard(i) // want `scanShard requires the shard lock, but nakedCaller never acquires one`
+}
+
+func nakedFunc(t *table) int {
+	return t.annotatedCaller(0) // want `annotatedCaller requires the shard lock`
+}

@@ -1,0 +1,39 @@
+// Package metricname is the fixture for the metricname analyzer: it
+// registers obs families against a miniature catalog (CATALOG.md in
+// this directory, wired in by the test) and exercises the prefix,
+// grammar and documentation checks plus the allow escape hatch.
+package metricname
+
+import "fungusdb/internal/obs"
+
+func families() []obs.Family {
+	return []obs.Family{
+		{Name: "fungusdb_good_total", Help: "documented and well formed", Kind: obs.KindCounter},
+		{Name: "engine_bad_total", Help: "wrong prefix", Kind: obs.KindCounter},             // want `lacks the fungusdb_ prefix`
+		{Name: "fungusdb_bad-grammar", Help: "dash is illegal", Kind: obs.KindGauge},        // want `fails the registry's name grammar`
+		{Name: "fungusdb_rogue_total", Help: "missing from catalog", Kind: obs.KindCounter}, // want `is not documented`
+	}
+}
+
+func histogram() *obs.Histogram {
+	return obs.NewHistogram("fungusdb_hist_seconds", "documented", []float64{0.1, 1},
+		obs.Label{Name: "shard", Value: "0"},
+		obs.Label{Name: "bad-label", Value: "x"}, // want `label name "bad-label" fails the registry's name grammar`
+	)
+}
+
+// helperFamily routes the name literal through a helper, the shape the
+// generic string-literal sweep exists to catch.
+func helperFamily(name string) obs.Family {
+	return obs.Family{Name: name, Kind: obs.KindCounter}
+}
+
+func viaHelper() []obs.Family {
+	return []obs.Family{
+		helperFamily("fungusdb_helper_total"),
+		helperFamily("fungusdb_unlisted_total"), // want `is not documented`
+	}
+}
+
+// prefixOnly is name-shaped but deliberately not a registration.
+const prefixOnly = "fungusdb_" //fungusvet:allow metricname -- bare prefix used for string matching, not registered

@@ -1,0 +1,74 @@
+// Package walexhaustive is the fixture for the walexhaustive
+// analyzer, written against the real wal.RecType enum so it breaks —
+// intentionally — when a record kind is added without updating the
+// expectations here.
+package walexhaustive
+
+import (
+	"errors"
+	"fmt"
+
+	"fungusdb/internal/wal"
+)
+
+func complete(r wal.Rec) error {
+	switch r.Type {
+	case wal.RecInsert:
+		return nil
+	case wal.RecEvict, wal.RecTick:
+		return nil
+	}
+	return errors.New("unreachable")
+}
+
+func missingKind(r wal.Rec) error {
+	switch r.Type { // want `does not handle RecTick`
+	case wal.RecInsert:
+		return nil
+	case wal.RecEvict:
+		return nil
+	}
+	return nil
+}
+
+func missingTwo(r wal.Rec) error {
+	switch r.Type { // want `does not handle RecEvict, RecTick`
+	case wal.RecInsert:
+		return nil
+	}
+	return nil
+}
+
+func defaultErrors(r wal.Rec) error {
+	switch r.Type {
+	case wal.RecInsert:
+		return nil
+	default:
+		return fmt.Errorf("unknown record %d", r.Type)
+	}
+}
+
+func defaultPanics(r wal.Rec) {
+	switch r.Type {
+	case wal.RecEvict:
+	default:
+		panic("unknown record")
+	}
+}
+
+func defaultSkips(r wal.Rec) {
+	switch r.Type {
+	case wal.RecInsert:
+	default: // want `default clause .* must return or panic`
+		_ = r
+	}
+}
+
+// A switch over some other uint8-ish type is none of our business.
+type notRecType uint8
+
+func unrelated(x notRecType) {
+	switch x {
+	case 1:
+	}
+}

@@ -1,0 +1,69 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"fungusdb/internal/analysis"
+	"fungusdb/internal/analysis/analysistest"
+)
+
+func TestDeterminism(t *testing.T) {
+	old := analysis.DeterminismPackages
+	analysis.DeterminismPackages = append(old, "fixture/determinism")
+	t.Cleanup(func() { analysis.DeterminismPackages = old })
+	analysistest.Run(t, analysis.Determinism, "determinism")
+}
+
+func TestWalExhaustive(t *testing.T) {
+	analysistest.Run(t, analysis.WalExhaustive, "walexhaustive")
+}
+
+func TestLockDiscipline(t *testing.T) {
+	analysis.ResetLockFacts()
+	t.Cleanup(analysis.ResetLockFacts)
+	analysistest.Run(t, analysis.LockDiscipline, "lockdiscipline")
+}
+
+func TestErrcode(t *testing.T) {
+	old := analysis.ErrcodePackages
+	analysis.ErrcodePackages = append(old, "fixture/errcode")
+	t.Cleanup(func() { analysis.ErrcodePackages = old })
+	analysistest.Run(t, analysis.Errcode, "errcode")
+}
+
+func TestMetricName(t *testing.T) {
+	doc, err := filepath.Abs(filepath.Join("testdata", "src", "metricname", "CATALOG.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysis.MetricDocPath = doc
+	t.Cleanup(func() { analysis.MetricDocPath = "" })
+	analysistest.Run(t, analysis.MetricName, "metricname")
+}
+
+// TestLoadRealPackages smoke-tests the loader against the live module:
+// the wal package must load, typecheck against export data, and run
+// the full analyzer set without loader errors.
+func TestLoadRealPackages(t *testing.T) {
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.Load(root, []string{"fungusdb/internal/wal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "fungusdb/internal/wal" {
+		t.Fatalf("loaded %d packages, want internal/wal", len(pkgs))
+	}
+	analysis.ResetLockFacts()
+	t.Cleanup(analysis.ResetLockFacts)
+	diags, err := analysis.RunAnalyzers(pkgs, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected finding in clean package: %s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+	}
+}

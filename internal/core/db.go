@@ -268,6 +268,7 @@ func (db *DB) Tables() []string {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	names := make([]string, 0, len(db.tables))
+	//fungusvet:allow determinism -- keys are sorted before they escape
 	for n := range db.tables {
 		names = append(names, n)
 	}
@@ -317,6 +318,7 @@ func (db *DB) Tick() (TickReport, error) {
 		adv.Advance(1)
 	}
 	tables := make([]*Table, 0, len(db.tables))
+	//fungusvet:allow determinism -- tables are sorted by name below, before any tick runs
 	for _, t := range db.tables {
 		tables = append(tables, t)
 	}
@@ -353,9 +355,17 @@ func (db *DB) Close() error {
 		return nil
 	}
 	db.closed = true
+	// Close in sorted name order: map order would make BOTH the close
+	// sequence and which error wins (firstErr) vary run to run.
+	names := make([]string, 0, len(db.tables))
+	//fungusvet:allow determinism -- keys are sorted before any table is closed
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
 	var firstErr error
-	for _, t := range db.tables {
-		if err := t.Close(); err != nil && firstErr == nil {
+	for _, n := range names {
+		if err := db.tables[n].Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

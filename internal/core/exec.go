@@ -254,6 +254,8 @@ func (t *Table) execAsk(plan *query.Plan, params []tuple.Value) (*query.Rows, er
 // matchShard collects up to limit clones of the tuples in shard i
 // matching the plan, skipping whole segments the plan's pruner rules
 // out. The caller holds shard i's lock (read suffices).
+//
+//fungusvet:requires shardlock
 func (t *Table) matchShard(i int, plan *query.Plan, params []tuple.Value, limit int, prune func(*storage.ZoneMap) bool, scanned *int) ([]tuple.Tuple, error) {
 	var out []tuple.Tuple
 	var matchErr error
@@ -278,7 +280,9 @@ func (t *Table) matchShard(i int, plan *query.Plan, params []tuple.Value, limit 
 // views, and tuples materialise only for matches. A kernel error only
 // surfaces when the scan consumes every selected row before it — a
 // limit hit stops first, exactly where the tuple path would have
-// stopped evaluating.
+// stopped evaluating. The caller holds shard i's lock.
+//
+//fungusvet:requires shardlock
 func (t *Table) matchShardBatch(i int, bm *query.BatchMatcher, limit int, prune func(*storage.ZoneMap) bool, scanned *int) ([]tuple.Tuple, error) {
 	var out []tuple.Tuple
 	var matchErr error

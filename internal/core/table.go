@@ -251,6 +251,11 @@ func (t *Table) ShardLens() []int {
 // Shelf returns the table's knowledge containers.
 func (t *Table) Shelf() *container.Shelf { return t.shelf }
 
+// lockAll write-locks every shard in index order (unlockAll releases
+// in reverse); the pair is the whole-table critical section used by
+// checkpoints, consume cuts and schema-level operations.
+//
+//fungusvet:acquires shardlock
 func (t *Table) lockAll() {
 	for i := range t.shardMu {
 		t.shardMu[i].Lock()
@@ -263,6 +268,10 @@ func (t *Table) unlockAll() {
 	}
 }
 
+// rlockAll read-locks every shard in index order, for read paths that
+// need a consistent cross-shard view.
+//
+//fungusvet:acquires shardlock
 func (t *Table) rlockAll() {
 	for i := range t.shardMu {
 		t.shardMu[i].RLock()

@@ -109,6 +109,12 @@ func (r *Registry) Register(c Collector) {
 // metricName is the Prometheus metric/label name grammar.
 var metricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
 
+// ValidName reports whether s satisfies the metric/label name grammar
+// Gather enforces at scrape time. Exported so fungusvet's metricname
+// analyzer applies the registry's exact rules at compile time instead
+// of a drifting copy.
+func ValidName(s string) bool { return metricName.MatchString(s) }
+
 // Gather collects from every registered collector and merges families
 // with the same name (first help/kind wins, samples append). Families
 // come back sorted by name and samples by label signature, so the

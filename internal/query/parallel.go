@@ -289,27 +289,27 @@ func (a *Aggregator) Merge(b *Aggregator) error {
 	return nil
 }
 
-// merge folds the partial cell b into s. COUNT/SUM/AVG add their (n,
+// merge folds the partial cell b into a. COUNT/SUM/AVG add their (n,
 // sum) carriers; MIN/MAX compare — every aggregate merges losslessly.
-func (s *aggState) merge(b *aggState) error {
-	s.n += b.n
-	s.sum += b.sum
+func (a *aggState) merge(b *aggState) error {
+	a.n += b.n
+	a.sum += b.sum
 	if b.min.IsValid() {
-		if !s.min.IsValid() {
-			s.min = b.min
-		} else if cmp, ok := b.min.Compare(s.min); !ok {
+		if !a.min.IsValid() {
+			a.min = b.min
+		} else if cmp, ok := b.min.Compare(a.min); !ok {
 			return fmt.Errorf("query: MIN merge over incomparable kinds")
 		} else if cmp < 0 {
-			s.min = b.min
+			a.min = b.min
 		}
 	}
 	if b.max.IsValid() {
-		if !s.max.IsValid() {
-			s.max = b.max
-		} else if cmp, ok := b.max.Compare(s.max); !ok {
+		if !a.max.IsValid() {
+			a.max = b.max
+		} else if cmp, ok := b.max.Compare(a.max); !ok {
 			return fmt.Errorf("query: MAX merge over incomparable kinds")
 		} else if cmp > 0 {
-			s.max = b.max
+			a.max = b.max
 		}
 	}
 	return nil

@@ -35,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -514,14 +515,18 @@ func (tr *tableRepl) status() TableStatus {
 	return st
 }
 
-// Status snapshots every mirrored table's replication position.
+// Status snapshots every mirrored table's replication position, in
+// sorted table order — the block is rendered verbatim by fungusctl
+// stats and the metrics collector, so its order is part of the output.
 func (f *Follower) Status() []TableStatus {
 	f.mu.Lock()
 	trs := make([]*tableRepl, 0, len(f.tables))
+	//fungusvet:allow determinism -- collected slice is sorted by table name below
 	for _, tr := range f.tables {
 		trs = append(trs, tr)
 	}
 	f.mu.Unlock()
+	sort.Slice(trs, func(i, j int) bool { return trs[i].name < trs[j].name })
 	out := make([]TableStatus, 0, len(trs))
 	for _, tr := range trs {
 		out = append(out, tr.status())
@@ -560,13 +565,13 @@ func (f *Follower) ServerStatus(name string) (server.ReplStatus, bool) {
 // or the timeout passes. Quiesce leader writes first — lag against a
 // moving leader may never pin to zero.
 func (f *Follower) WaitCaughtUp(name string, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
+	deadline := time.Now().Add(timeout) //fungusvet:allow determinism -- operator/test timeout on the local machine; never feeds replicated state
 	for {
 		st, ok := f.TableStatus(name)
 		if ok && st.Connected && st.HaveCounts && st.LagRecords == 0 {
 			return nil
 		}
-		if time.Now().After(deadline) {
+		if time.Now().After(deadline) { //fungusvet:allow determinism -- same wall-clock timeout as above
 			return fmt.Errorf("repl: %s not caught up after %v (status %+v)", name, timeout, st)
 		}
 		select {

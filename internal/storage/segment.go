@@ -376,24 +376,24 @@ func (s *segment) compactInPlace() int {
 	return reclaimed
 }
 
-// lastLiveAtOrBelow returns the greatest live tuple ID <= bound in sg.
-func (sg *segment) lastLiveAtOrBelow(bound tuple.ID) (tuple.ID, bool) {
+// lastLiveAtOrBelow returns the greatest live tuple ID <= bound in s.
+func (s *segment) lastLiveAtOrBelow(bound tuple.ID) (tuple.ID, bool) {
 	// Index of the last row with ID <= bound.
-	j := sort.Search(len(sg.ids), func(k int) bool { return sg.ids[k] > bound }) - 1
+	j := sort.Search(len(s.ids), func(k int) bool { return s.ids[k] > bound }) - 1
 	for ; j >= 0; j-- {
-		if sg.liveAt(j) {
-			return sg.ids[j], true
+		if s.liveAt(j) {
+			return s.ids[j], true
 		}
 	}
 	return 0, false
 }
 
-// firstLiveAtOrAbove returns the least live tuple ID >= bound in sg.
-func (sg *segment) firstLiveAtOrAbove(bound tuple.ID) (tuple.ID, bool) {
-	j := sort.Search(len(sg.ids), func(k int) bool { return sg.ids[k] >= bound })
-	for ; j < len(sg.ids); j++ {
-		if sg.liveAt(j) {
-			return sg.ids[j], true
+// firstLiveAtOrAbove returns the least live tuple ID >= bound in s.
+func (s *segment) firstLiveAtOrAbove(bound tuple.ID) (tuple.ID, bool) {
+	j := sort.Search(len(s.ids), func(k int) bool { return s.ids[k] >= bound })
+	for ; j < len(s.ids); j++ {
+		if s.liveAt(j) {
+			return s.ids[j], true
 		}
 	}
 	return 0, false

@@ -76,6 +76,8 @@ func (ss *ShardedStore) Insert(now clock.Tick, attrs []tuple.Value) (tuple.Tuple
 
 // InsertShard inserts into shard i, which the caller has claimed via
 // NextShard (and locked, under concurrency).
+//
+//fungusvet:requires shardlock
 func (ss *ShardedStore) InsertShard(i int, now clock.Tick, attrs []tuple.Value) (tuple.Tuple, error) {
 	return ss.shards[i].Insert(now, attrs)
 }
@@ -244,24 +246,32 @@ func (ss *ShardedStore) Scan(fn func(*tuple.Tuple) bool) {
 }
 
 // ScanShard scans only shard i, in that shard's ID order.
+//
+//fungusvet:requires shardlock
 func (ss *ShardedStore) ScanShard(i int, fn func(*tuple.Tuple) bool) {
 	ss.shards[i].Scan(fn)
 }
 
 // ScanShardPruned scans only shard i with segment pruning (see
 // Store.ScanPruned), reporting what was skipped.
+//
+//fungusvet:requires shardlock
 func (ss *ShardedStore) ScanShardPruned(i int, skip func(*ZoneMap) bool, fn func(*tuple.Tuple) bool) PruneStats {
 	return ss.shards[i].ScanPruned(skip, fn)
 }
 
 // ScanShardBatches scans only shard i as columnar batches (see
 // Store.ScanBatches), reporting what was pruned.
+//
+//fungusvet:requires shardlock
 func (ss *ShardedStore) ScanShardBatches(i int, skip func(*ZoneMap) bool, fn func(*tuple.Batch) bool) PruneStats {
 	return ss.shards[i].ScanBatches(skip, fn)
 }
 
 // ScanShardAxis scans only shard i in the chosen direction along the ID
 // axis (see Store.ScanAxis), reporting what was skipped.
+//
+//fungusvet:requires shardlock
 func (ss *ShardedStore) ScanShardAxis(i int, reverse bool, skip func(*ZoneMap) bool, fn func(*tuple.Tuple) bool) PruneStats {
 	return ss.shards[i].ScanAxis(reverse, skip, fn)
 }

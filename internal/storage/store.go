@@ -482,15 +482,15 @@ func (s *Store) ScanPruned(skip func(*ZoneMap) bool, fn func(*tuple.Tuple) bool)
 // scanLive drives fn over the segment's live rows in ID order, writing
 // freshness/infection mutations back after every call. Reports false
 // when fn stopped the scan.
-func (sg *segment) scanLive(scratch *tuple.Tuple, fn func(*tuple.Tuple) bool) bool {
-	for w, m := range sg.liveBits {
+func (s *segment) scanLive(scratch *tuple.Tuple, fn func(*tuple.Tuple) bool) bool {
+	for w, m := range s.liveBits {
 		base := w << 6
 		for m != 0 {
 			j := base + bits.TrailingZeros64(m)
 			m &= m - 1
-			sg.readRow(j, scratch)
+			s.readRow(j, scratch)
 			ok := fn(scratch)
-			sg.writeBack(j, scratch)
+			s.writeBack(j, scratch)
 			if !ok {
 				return false
 			}

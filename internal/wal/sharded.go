@@ -530,6 +530,11 @@ func recoverReshard(dir string, man Manifest, ss *storage.ShardedStore) error {
 				inserts = append(inserts, rec.Tuple)
 			case RecEvict:
 				evicts = append(evicts, rec.ID)
+			case RecTick:
+				// As on the matched path: crash recovery takes freshness
+				// from the snapshots, ticks matter only to live followers.
+			default:
+				return fmt.Errorf("reshard: unknown record %d", rec.Type)
 			}
 			return nil
 		})
